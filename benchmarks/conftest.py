@@ -1,0 +1,71 @@
+"""Benchmark fixtures.
+
+One bench-scale world is simulated per session and shared by every
+experiment. Each bench regenerates its table/figure, asserts the paper's
+qualitative shape, benchmarks the analysis step, and writes the rendered
+rows to ``benchmarks/reports/<experiment>.txt`` (pytest captures stdout, so
+reports go to files; they are also printed for ``-s`` runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import MeasurementPipeline, WorldConfig, simulate_world
+from repro.popularity import PopularityProvider
+from repro.reputation import build_store_from_ownership
+from repro.util.rng import RngStream
+
+#: Scale of the benchmark world relative to the default configuration.
+BENCH_SCALE = 0.3
+
+_REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return simulate_world(WorldConfig(seed=20231024).scaled(BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_world):
+    pipeline = MeasurementPipeline(
+        bench_world.to_bundle(),
+        revocation_cutoff_day=bench_world.config.timeline.revocation_cutoff,
+    )
+    return pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def bench_reputation_store(bench_world):
+    return build_store_from_ownership(
+        bench_world.malicious_ownership, RngStream(20231024, "bench-vt")
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_popularity(bench_world):
+    alive = {}
+    for name in bench_world.registry.all_domains():
+        spans = bench_world.registry.spans(name)
+        alive[name] = (
+            spans[0].creation_date,
+            spans[-1].deleted_on or bench_world.config.timeline.simulation_end,
+        )
+    return PopularityProvider(bench_world.popularity_ranks, alive)
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    os.makedirs(_REPORT_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = os.path.join(_REPORT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit

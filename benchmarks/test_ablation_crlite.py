@@ -1,0 +1,58 @@
+"""Ablation — CRLite-style compressed revocation (§7.2 mitigation).
+
+Builds a Bloom-filter cascade over the world's revoked-vs-valid certificate
+universe and measures its size against a plain serial list, quantifying the
+"push all revocations to all browsers" proposal the paper names as the
+revocation path forward.
+"""
+
+from repro.analysis.report import render_table
+from repro.revocation.crl import merge_crl_series
+from repro.revocation.crlite import build_certificate_cascade, certificate_key
+
+
+def _partition(bench_world):
+    revoked_keys = set(merge_crl_series(bench_world.crls))
+    revoked, valid = [], []
+    for certificate in bench_world.corpus.certificates():
+        if certificate.revocation_key() in revoked_keys:
+            revoked.append(certificate)
+        else:
+            valid.append(certificate)
+    return revoked, valid
+
+
+def _build(revoked, valid):
+    return build_certificate_cascade(revoked, valid)
+
+
+def test_ablation_crlite(benchmark, bench_world, emit_report):
+    revoked, valid = _partition(bench_world)
+    assert revoked and valid
+    cascade, stats = benchmark(_build, revoked, valid)
+
+    # Exactness over the full universe.
+    for certificate in revoked[:500]:
+        assert certificate_key(certificate) in cascade
+    for certificate in valid[:500]:
+        assert certificate_key(certificate) not in cascade
+
+    plain_list_bytes = sum(len(certificate_key(c)) for c in revoked)
+    assert stats.total_size_bytes < plain_list_bytes
+
+    emit_report(
+        "ablation_crlite",
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ("revoked certificates", stats.revoked_count),
+                ("valid certificates (universe)", stats.valid_count),
+                ("cascade levels", stats.levels),
+                ("cascade size", f"{stats.total_size_bytes:,} B"),
+                ("plain revoked-key list", f"{plain_list_bytes:,} B"),
+                ("compression", f"{plain_list_bytes / stats.total_size_bytes:.1f}x"),
+                ("bits per revocation", f"{stats.bits_per_revocation:.1f}"),
+            ],
+            title="Ablation: CRLite filter cascade vs plain revocation list",
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Ablation — first-party vs third-party staleness volume (§3.4).
+
+The paper measures only third-party staleness but asserts that "the
+majority of certificate invalidation events lead to stale certificates
+controlled by the domain owner". The key-rotation detector quantifies the
+dominant first-party source (ACME renew-at-2/3 leaves ~30 unexpired days
+per 90-day certificate) and confirms first-party ≫ third-party.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.detectors.first_party import KeyRotationDetector
+from repro.core.stale import StalenessClass
+from repro.util.stats import median
+
+
+def _detect(bench_world):
+    return KeyRotationDetector(bench_world.corpus).detect()
+
+
+def test_ablation_first_party(benchmark, bench_world, bench_result, emit_report):
+    rotations = benchmark(_detect, bench_world)
+    first_party = rotations.of_class(StalenessClass.FIRST_PARTY_KEY_ROTATION)
+    third_party_total = sum(
+        len(bench_result.findings.of_class(cls))
+        for cls in (
+            StalenessClass.KEY_COMPROMISE,
+            StalenessClass.REGISTRANT_CHANGE,
+            StalenessClass.MANAGED_TLS_DEPARTURE,
+        )
+    )
+
+    assert len(first_party) > third_party_total  # §3.4's majority claim
+    rotation_median = median([f.staleness_days for f in first_party])
+
+    emit_report(
+        "ablation_first_party",
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ("first-party key-rotation stale certs", len(first_party)),
+                ("third-party stale certs (all 3 classes)", third_party_total),
+                ("first/third ratio", f"{len(first_party) / max(1, third_party_total):.1f}x"),
+                ("median rotation staleness (days)", f"{rotation_median:.0f}"),
+            ],
+            title="Ablation: first-party vs third-party staleness (paper §3.4)",
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Corpus overview — the §2/§5.2 background narrative, quantified.
+
+Not a numbered table in the paper, but the context every figure rests on:
+issuance growth after Let's Encrypt, market-share shift to automated CAs,
+and the stepwise collapse of certificate lifetimes across policy eras.
+"""
+
+from repro.analysis.charts import log_bar_chart
+from repro.analysis.corpus_stats import (
+    automation_share_by_year,
+    lifetime_by_policy_era,
+    yearly_issuance,
+)
+from repro.analysis.report import render_table
+
+
+def _compute(corpus):
+    return (
+        yearly_issuance(corpus),
+        lifetime_by_policy_era(corpus),
+        automation_share_by_year(corpus),
+    )
+
+
+def test_corpus_overview(benchmark, bench_world, emit_report):
+    issuance, eras, automation = benchmark(_compute, bench_world.corpus)
+
+    series = dict(issuance)
+    early = sum(series.get(year, 0) for year in (2013, 2014, 2015))
+    late = sum(series.get(year, 0) for year in (2019, 2020, 2021))
+    assert late > 3 * max(1, early)  # the Let's Encrypt inflection
+    by_era = {s.era: s for s in eras}
+    assert by_era["398 era"].max_lifetime <= 398
+    assert by_era["398 era"].share_90_day > by_era["pre-825 era"].share_90_day
+
+    blocks = [
+        log_bar_chart(
+            [(str(year), count) for year, count in issuance],
+            title="CT issuance per year (log scale)",
+        ),
+        render_table(
+            ["Policy era", "Certs", "Median lifetime", "Max lifetime", "<=90d share"],
+            [
+                (s.era, s.certificates, f"{s.median_lifetime:.0f}d",
+                 f"{s.max_lifetime}d", f"{100 * s.share_90_day:.0f}%")
+                for s in eras
+            ],
+            title="Lifetime distribution by policy era",
+        ),
+        render_table(
+            ["Year", "Automated (<=90d) share"],
+            [(year, f"{100 * share:.0f}%") for year, share in automation],
+            title="Rise of automated issuance",
+        ),
+    ]
+    emit_report("corpus_overview", "\n\n".join(blocks))

@@ -1,0 +1,42 @@
+"""Figure 4 — monthly key-compromise revocation volumes by CA.
+
+Shape checks: the GoDaddy November/December 2021 breach spike dominates the
+series, Let's Encrypt (ISRG) key-compromise reporting only appears from
+July 2022, and the post-breach baseline trends upward.
+"""
+
+from repro.analysis.charts import stacked_monthly_chart
+from repro.analysis.figures import build_fig4
+from repro.analysis.report import render_table
+
+GODADDY = "GoDaddy Secure CA - G2"
+
+
+def test_fig4_key_compromise_monthly(benchmark, bench_result, emit_report):
+    series = benchmark(build_fig4, bench_result.findings)
+
+    spike = sum(series.get(m, {}).get(GODADDY, 0) for m in ("2021-11", "2021-12"))
+    assert spike > 0
+    peak_month_total = max(sum(counts.values()) for counts in series.values())
+    spike_months_total = max(
+        sum(series.get(m, {}).values()) for m in ("2021-11", "2021-12")
+    )
+    assert spike_months_total == peak_month_total  # the breach is the peak
+
+    for month, counts in series.items():
+        for issuer, count in counts.items():
+            if issuer.startswith("Let's Encrypt") and count:
+                assert month >= "2022-07"  # ISRG reporting begins July 2022
+
+    issuers = sorted({i for counts in series.values() for i in counts})
+    rows = []
+    for month in sorted(series):
+        rows.append([month] + [series[month].get(issuer, 0) for issuer in issuers])
+    table = render_table(
+        ["Month"] + issuers, rows,
+        title="Figure 4: Monthly key-compromise revocations by CA",
+    )
+    chart = stacked_monthly_chart(
+        sorted(series), series, title="(log-scale monthly volume, stacked by CA)"
+    )
+    emit_report("fig4_key_compromise_monthly", table + "\n\n" + chart)

@@ -1,0 +1,36 @@
+"""Figure 5a — new monthly stale certificates / e2LDs from registrant change.
+
+Shape checks: staleness volume grows drastically after 2018 (the Let's
+Encrypt / CDN era), and the certificate series spikes well above the e2LD
+series during the cruise-liner period (many overlapping certificates per
+customer domain).
+"""
+
+from repro.analysis.charts import log_bar_chart
+from repro.analysis.figures import build_fig5a
+from repro.analysis.report import render_table
+
+
+def test_fig5a_registrant_growth(benchmark, bench_result, emit_report):
+    points = benchmark(build_fig5a, bench_result.findings)
+
+    assert points
+    early_certs = sum(c for m, c, _ in points if m < "2017-01")
+    late_certs = sum(c for m, c, _ in points if "2018-01" <= m <= "2021-07")
+    assert late_certs > max(1, early_certs)  # post-2018 growth
+
+    # Cruise-liner amplification: in the busiest month, stale certificates
+    # outnumber newly-stale e2LDs.
+    peak_month = max(points, key=lambda p: p[1])
+    assert peak_month[1] >= peak_month[2]
+
+    table = render_table(
+        ["Month", "New stale certs", "New stale e2LDs"],
+        [(m, c, e) for m, c, e in points],
+        title="Figure 5a: New monthly stale certificates (registrant change)",
+    )
+    chart = log_bar_chart(
+        [(m, c) for m, c, _ in points],
+        title="(log-scale monthly stale certificates)",
+    )
+    emit_report("fig5a_registrant_growth", table + "\n\n" + chart)

@@ -1,0 +1,36 @@
+"""Figure 5b — the 2018-2019 registrant-change spike, split by issuer.
+
+Shape check: the spike window is dominated by COMODO-issued Cloudflare
+cruise-liner certificates, with per-domain Cloudflare-CA issuance growing as
+the cruise-liners phase out through 2019.
+"""
+
+from repro.analysis.figures import build_fig5b
+from repro.analysis.report import render_table
+
+COMODO = "COMODO ECC DV Secure Server CA 2"
+CF_CA = "CloudFlare ECC CA-2"
+
+
+def test_fig5b_spike_issuers(benchmark, bench_result, emit_report):
+    series = benchmark(build_fig5b, bench_result.findings)
+
+    assert series
+    issuer_totals = {}
+    for counts in series.values():
+        for issuer, count in counts.items():
+            issuer_totals[issuer] = issuer_totals.get(issuer, 0) + count
+    # Cruise-liners dominate the spike window.
+    assert issuer_totals.get(COMODO, 0) == max(issuer_totals.values())
+
+    issuers = sorted({i for counts in series.values() for i in counts})
+    rows = []
+    for month in sorted(series):
+        rows.append([month] + [series[month].get(issuer, 0) for issuer in issuers])
+    emit_report(
+        "fig5b_spike_issuers",
+        render_table(
+            ["Month"] + issuers, rows,
+            title="Figure 5b: Registrant-change spike by issuer (2018-2019)",
+        ),
+    )

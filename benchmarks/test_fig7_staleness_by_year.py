@@ -1,0 +1,34 @@
+"""Figure 7 — registrant-change staleness CDFs by change year (2016-2021).
+
+The paper reports mixed results: the long 2016/2017 tail is curtailed after
+the 825-day limit takes effect, while average staleness fluctuates. We check
+the tail-curtailment claim: post-2019 cohorts have no staleness beyond the
+398/825-day era maxima seen earlier.
+"""
+
+from repro.analysis.figures import build_fig7
+from repro.analysis.report import render_cdf
+
+
+def test_fig7_staleness_by_year(benchmark, bench_result, emit_report):
+    cohorts = benchmark(build_fig7, bench_result.findings)
+
+    assert len(cohorts) >= 4
+    # Tail curtailment: the maximum staleness of the 2021 cohort cannot
+    # exceed the 825-era maximum (and certs issued post-2020-09 cap at 398).
+    if 2017 in cohorts and 2021 in cohorts:
+        max_2017 = max(x for x, _ in cohorts[2017].curve)
+        max_2021 = max(x for x, _ in cohorts[2021].curve)
+        assert max_2021 <= max(max_2017, 825)
+
+    blocks = []
+    for year in sorted(cohorts):
+        s = cohorts[year]
+        blocks.append(
+            f"{year}: median={s.median_days:.0f}d, P(>90d)={s.proportion_over_90:.2f}\n"
+            + render_cdf(s.curve, label="  CDF", points=8)
+        )
+    emit_report(
+        "fig7_staleness_by_year",
+        "Figure 7: Registrant-change staleness by year\n" + "\n\n".join(blocks),
+    )

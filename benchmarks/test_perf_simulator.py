@@ -1,0 +1,36 @@
+"""Performance benchmark — the world simulator itself.
+
+Not a paper experiment: a regression guard for the library's most expensive
+operation (a full 2013–2023 day loop). The report records throughput so
+future changes to the simulator show up as timing regressions.
+"""
+
+from repro.analysis.report import render_table
+from repro.ecosystem import WorldConfig, WorldSimulator
+
+
+def _run_small_world():
+    return WorldSimulator(WorldConfig(seed=515).scaled(0.05)).run()
+
+
+def test_perf_simulator_full_decade(benchmark, emit_report):
+    world = benchmark.pedantic(_run_small_world, rounds=3, iterations=1)
+    summary = world.dataset_summary()
+    assert summary["ct_unique_certificates"] > 500
+    days = world.config.timeline.simulation_end - world.config.timeline.simulation_start + 1
+    emit_report(
+        "perf_simulator",
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ("simulated days", days),
+                ("certificates issued", world.total_certificates_issued),
+                ("unique certificates (CT)", summary["ct_unique_certificates"]),
+                ("registered domains", summary["registered_domains"]),
+                ("ground-truth events", summary["ground_truth_events"]),
+                ("mean seconds (3 rounds)", f"{benchmark.stats['mean']:.2f}"),
+                ("simulated days / second", f"{days / benchmark.stats['mean']:.0f}"),
+            ],
+            title="Performance: full-decade simulation at scale 0.05",
+        ),
+    )

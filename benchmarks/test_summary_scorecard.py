@@ -1,0 +1,15 @@
+"""Headline scorecard — every checkable paper claim, evaluated at once.
+
+Not a table or figure of the paper itself, but the reproduction's own
+deliverable: the abstract's and takeaway sections' claims verified against
+the bench world in one report.
+"""
+
+from repro.analysis.summary import evaluate_claims, render_summary
+
+
+def test_summary_scorecard(benchmark, bench_result, emit_report):
+    checks = benchmark(evaluate_claims, bench_result)
+    failing = [check.claim for check in checks if not check.holds]
+    assert failing == [], f"claims failing on the bench world: {failing}"
+    emit_report("summary_scorecard", render_summary(bench_result))

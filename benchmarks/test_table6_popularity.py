@@ -1,0 +1,33 @@
+"""Table 6 — popularity of domains found in stale certificates.
+
+Min rank per e2LD across biannual 2014-2022 top-list samples, bucketed into
+Top 1K / 10K / 100K / 1M, per staleness class. The paper's takeaway held
+here: the overwhelming majority of stale-cert domains sit in the long tail.
+"""
+
+from repro.analysis.popularity_analysis import build_table6
+from repro.analysis.report import render_table
+
+
+def test_table6_popularity(benchmark, bench_result, bench_popularity, emit_report):
+    columns = benchmark(build_table6, bench_result.findings, bench_popularity)
+
+    assert len(columns) == 3
+    for column in columns:
+        counts = [column.bucket_counts[b] for b in (1_000, 10_000, 100_000, 1_000_000)]
+        assert counts == sorted(counts)  # cumulative buckets
+        if column.total_domains >= 20:
+            assert column.percent_in_top_1m() < 50.0  # long tail dominates
+
+    headers = ["Rank bucket"] + [c.staleness_class.value for c in columns]
+    rows = []
+    for bucket in (1_000, 10_000, 100_000, 1_000_000):
+        rows.append([f"Top {bucket:,}"] + [c.bucket_counts[bucket] for c in columns])
+    rows.append(["Total domains"] + [c.total_domains for c in columns])
+    rows.append(
+        ["% in Top 1M"] + [f"{c.percent_in_top_1m():.1f}%" for c in columns]
+    )
+    emit_report(
+        "table6_popularity",
+        render_table(headers, rows, title="Table 6: Domain popularity"),
+    )

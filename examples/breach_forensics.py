@@ -1,0 +1,86 @@
+"""Key-compromise forensics and the revocation threat model.
+
+Walks through a GoDaddy-style provisioning breach (paper Section 5.1):
+keys provisioned during the exposure window leak, the CA mass-revokes with
+reason keyCompromise, the revocations surface in CRLs — and then shows why
+revocation gives so little recourse (Section 2.4): clients that skip
+checking, or soft-fail, still accept interception with the stolen key;
+only expiration reliably ends the exposure.
+
+    python examples/breach_forensics.py
+"""
+
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.pki.keys import KeyStore
+from repro.revocation.checking import (
+    RevocationChecker,
+    RevocationPolicy,
+    interception_succeeds,
+)
+from repro.revocation.ocsp import OcspResponder
+from repro.revocation.publisher import CaCrlPublisher
+from repro.revocation.reasons import RevocationReason
+from repro.util.dates import day, day_to_iso
+
+
+def main() -> None:
+    key_store = KeyStore()
+    ca = CertificateAuthority(
+        "Hosting Provider CA",
+        key_store,
+        policy=IssuancePolicy(require_validation=False, default_lifetime_days=395),
+    )
+    publisher = CaCrlPublisher(ca)
+    responder = OcspResponder(publisher)
+
+    exposure_start = day(2021, 9, 6)
+    disclosure = day(2021, 11, 17)
+
+    # Customers provision managed sites (and keys) throughout the exposure.
+    victims = []
+    for index in range(6):
+        issued_on = exposure_start + index * 12
+        key = key_store.generate(f"customer-{index}", issued_on)
+        certificate = ca.issue([f"shop{index}.example.com"], key, issued_on)
+        victims.append(certificate)
+
+    # The intruder had provisioning-system access the whole window.
+    print(f"Breach disclosed {day_to_iso(disclosure)}; keys provisioned since "
+          f"{day_to_iso(exposure_start)} are exposed:")
+    for certificate in victims:
+        key_store.grant(certificate.subject_key, "intruder", disclosure, reason="breach")
+        holders = sorted(key_store.holders_on(certificate.subject_key, disclosure))
+        print(f"  {certificate.subject_cn}: key holders = {holders}")
+
+    # CA responds: mass revocation with reason keyCompromise.
+    for offset, certificate in enumerate(victims):
+        publisher.revoke(certificate, disclosure + offset, RevocationReason.KEY_COMPROMISE)
+    crl = publisher.publish(disclosure + 10)
+    kc_entries = crl.entries_with_reason(RevocationReason.KEY_COMPROMISE)
+    print(f"\nCRL published {day_to_iso(disclosure + 10)}: "
+          f"{len(kc_entries)} keyCompromise entries")
+
+    # The threat-model punchline: does revocation stop interception?
+    victim = victims[0]
+    check_day = disclosure + 30
+    clients = {
+        "Chrome/Edge/curl (no checking)": RevocationChecker(RevocationPolicy.NONE),
+        "Firefox/Safari (soft-fail)": RevocationChecker(RevocationPolicy.SOFT_FAIL, responder),
+        "hypothetical hard-fail client": RevocationChecker(RevocationPolicy.HARD_FAIL, responder),
+    }
+    print(f"\nCan the intruder intercept {victim.subject_cn} on "
+          f"{day_to_iso(check_day)} (cert REVOKED, still unexpired)?")
+    for label, checker in clients.items():
+        outcome = interception_succeeds(checker, victim, check_day, revoked=True)
+        print(f"  {label:35s} -> {'INTERCEPTED' if outcome else 'blocked'}")
+
+    after_expiry = victim.not_after + 1
+    chrome = clients["Chrome/Edge/curl (no checking)"]
+    outcome = interception_succeeds(chrome, victim, after_expiry, revoked=True)
+    print(f"\nAnd on {day_to_iso(after_expiry)}, one day past expiration?")
+    print(f"  any client -> {'INTERCEPTED' if outcome else 'blocked'}  "
+          "(expiration is the only reliable backstop)")
+
+
+if __name__ == "__main__":
+    main()

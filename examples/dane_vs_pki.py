@@ -1,0 +1,59 @@
+"""DANE vs web PKI staleness windows (paper §7.2).
+
+The paper's systemic fix for stale certificates is aligning keys with the
+authoritative name source: DANE's hours-scale TTLs versus the web PKI's
+up-to-398-day certificate lifetimes. This example deploys both for the same
+service, rotates the key, and measures how long each system keeps accepting
+the *old* key.
+
+    python examples/dane_vs_pki.py
+"""
+
+from repro.dns.dane import DaneDeployment, TlsaRecord, compare_staleness_windows
+from repro.dns.zone import ZoneStore
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.pki.keys import KeyStore
+from repro.util.dates import day, day_to_iso
+
+
+def main() -> None:
+    key_store = KeyStore()
+    zones = ZoneStore()
+    zones.create("example.com")
+    ca = CertificateAuthority(
+        "Example CA", key_store, policy=IssuancePolicy(require_validation=False)
+    )
+    dane = DaneDeployment(zones)
+
+    deploy_day = day(2022, 1, 1)
+    old_key = key_store.generate("owner", deploy_day)
+    old_cert = ca.issue(["example.com"], old_key, deploy_day, lifetime_days=365)
+    dane.publish("example.com", TlsaRecord.for_key(old_key))
+    print(f"[{day_to_iso(deploy_day)}] deployed: cert {old_cert.serial} "
+          f"(valid to {day_to_iso(old_cert.not_after)}) + TLSA binding")
+
+    rotate_day = day(2022, 3, 1)
+    new_key = key_store.generate("owner", rotate_day)
+    new_cert = ca.issue(["example.com"], new_key, rotate_day, lifetime_days=365)
+    dane.publish("example.com", TlsaRecord.for_key(new_key))
+    print(f"[{day_to_iso(rotate_day)}] key rotated: cert {new_cert.serial} issued, "
+          "TLSA binding replaced")
+
+    check_day = rotate_day + 30
+    pki_accepts_old = old_cert.is_valid_on(check_day)
+    dane_accepts_old = dane.verify("example.com", old_cert)
+    print(f"\n[{day_to_iso(check_day)}] does each system still accept the OLD key?")
+    print(f"  web PKI (certificate validity): {'YES - stale!' if pki_accepts_old else 'no'}")
+    print(f"  DANE (TLSA binding):            {'YES' if dane_accepts_old else 'no - binding replaced'}")
+
+    comparison = compare_staleness_windows(old_cert, rotate_day)
+    print("\nStaleness windows after the key change:")
+    print(f"  DANE:    <= {comparison.dane_stale_seconds} seconds (one TTL)")
+    print(f"  web PKI: {comparison.pki_stale_days} days (until notAfter)")
+    print(f"  ratio:   {comparison.pki_to_dane_ratio:,.0f}x longer under the web PKI")
+    print("\nThis is the paper's point: certificates are an authentication cache")
+    print("with a months-scale eviction policy, DNS is an hours-scale one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+The project intentionally ships no pyproject.toml: the evaluation
+environment is offline and lacks the ``wheel`` package that PEP 517/660
+editable installs require, whereas the legacy path pip uses for
+pyproject-less projects (``setup.py develop``) works without network.
+"""
+
+from setuptools import setup
+
+setup()

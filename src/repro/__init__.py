@@ -1,0 +1,59 @@
+"""repro — reproduction of "Stale TLS Certificates: Investigating Precarious
+Third-Party Access to Valid TLS Keys" (IMC 2023).
+
+The package is organized as the paper's system is:
+
+* substrates — :mod:`repro.psl`, :mod:`repro.dns`, :mod:`repro.whois`,
+  :mod:`repro.pki`, :mod:`repro.ct`, :mod:`repro.revocation`,
+  :mod:`repro.reputation`, :mod:`repro.popularity`;
+* world generation — :mod:`repro.ecosystem` (seeded 2013–2023 simulation);
+* the paper's contribution — :mod:`repro.core` (invalidation-event taxonomy,
+  three stale-certificate detectors, lifetime-policy analysis);
+* reporting — :mod:`repro.analysis` (every table and figure).
+
+Quickstart::
+
+    from repro import WorldConfig, simulate_world, MeasurementPipeline
+
+    world = simulate_world(WorldConfig().scaled(0.1))
+    result = MeasurementPipeline(
+        world.to_bundle(),
+        revocation_cutoff_day=world.config.timeline.revocation_cutoff,
+    ).run()
+    for row in result.aggregate_table():
+        print(row.staleness_class.value, row.stale_certificates)
+"""
+
+from repro.core import (
+    KeyCompromiseDetector,
+    LifetimePolicySimulator,
+    ManagedTlsDetector,
+    MeasurementPipeline,
+    PipelineResult,
+    RegistrantChangeDetector,
+    StaleCertificate,
+    StaleFindings,
+    StalenessClass,
+)
+from repro.core.pipeline import DatasetBundle
+from repro.ecosystem import WorldConfig, WorldDatasets, WorldSimulator, simulate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KeyCompromiseDetector",
+    "LifetimePolicySimulator",
+    "ManagedTlsDetector",
+    "MeasurementPipeline",
+    "PipelineResult",
+    "RegistrantChangeDetector",
+    "StaleCertificate",
+    "StaleFindings",
+    "StalenessClass",
+    "DatasetBundle",
+    "WorldConfig",
+    "WorldDatasets",
+    "WorldSimulator",
+    "simulate_world",
+    "__version__",
+]

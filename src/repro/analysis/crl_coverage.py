@@ -1,0 +1,42 @@
+"""Table 7 (Appendix B): CRL download coverage per CA operator.
+
+The fetcher accumulates per-operator attempt/success statistics across the
+daily collection; this builder sorts them coverage-ascending, exactly like
+the paper's appendix table (blocked CAs first, the clean majority last),
+and appends the total-coverage row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.revocation.fetcher import CrlFetcher
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    ca_operator: str
+    succeeded: int
+    attempted: int
+
+    @property
+    def coverage(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    @property
+    def coverage_text(self) -> str:
+        return f"{self.succeeded} / {self.attempted} ({100 * self.coverage:.2f}%)"
+
+
+def build_table7(fetcher: CrlFetcher) -> List[Table7Row]:
+    """Per-operator coverage rows, worst coverage first, plus a Total row."""
+    rows = [
+        Table7Row(operator, stats.succeeded, stats.attempted)
+        for operator, stats in fetcher.stats_by_operator.items()
+    ]
+    rows.sort(key=lambda row: (row.coverage, row.ca_operator))
+    total_attempted = sum(row.attempted for row in rows)
+    total_succeeded = sum(row.succeeded for row in rows)
+    rows.append(Table7Row("Total Coverage", total_succeeded, total_attempted))
+    return rows

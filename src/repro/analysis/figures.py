@@ -1,0 +1,193 @@
+"""Figure builders: the data series behind Figures 4–9.
+
+Each function returns plain data (dicts / lists of tuples) so benches can
+both assert on shape and print the series.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.lifetime import (
+    STUDIED_CAPS,
+    CapResult,
+    LifetimePolicySimulator,
+)
+from repro.core.stale import StalenessClass, StaleFindings
+from repro.util.dates import month_key, year_of
+from repro.util.stats import Ecdf, SurvivalCurve
+
+_THIRD_PARTY_CLASSES = (
+    StalenessClass.KEY_COMPROMISE,
+    StalenessClass.REGISTRANT_CHANGE,
+    StalenessClass.MANAGED_TLS_DEPARTURE,
+)
+
+
+# -- Figure 4: monthly key-compromise revocations by CA ------------------------
+
+
+def build_fig4(findings: StaleFindings) -> Dict[str, Dict[str, int]]:
+    """month ('YYYY-MM') -> issuer -> key-compromise revocation count."""
+    series: Dict[str, Dict[str, int]] = defaultdict(dict)
+    for finding in findings.of_class(StalenessClass.KEY_COMPROMISE):
+        month = month_key(finding.invalidation_day)
+        issuer = finding.certificate.issuer_name
+        series[month][issuer] = series[month].get(issuer, 0) + 1
+    return dict(series)
+
+
+# -- Figure 5a: monthly new stale certs / e2LDs from registrant change ---------
+
+
+def build_fig5a(findings: StaleFindings) -> List[Tuple[str, int, int]]:
+    """[(month, new stale certificates, new stale e2LDs)], month-ascending.
+
+    An e2LD counts in the month its *first* stale certificate appeared
+    ("new monthly" in the figure's caption).
+    """
+    certs_by_month: Dict[str, int] = defaultdict(int)
+    first_month_of_e2ld: Dict[str, str] = {}
+    for finding in findings.of_class(StalenessClass.REGISTRANT_CHANGE):
+        month = month_key(finding.invalidation_day)
+        certs_by_month[month] += 1
+        for e2ld in finding.affected_e2lds():
+            if e2ld not in first_month_of_e2ld or month < first_month_of_e2ld[e2ld]:
+                first_month_of_e2ld[e2ld] = month
+    e2lds_by_month: Dict[str, int] = defaultdict(int)
+    for month in first_month_of_e2ld.values():
+        e2lds_by_month[month] += 1
+    months = sorted(set(certs_by_month) | set(e2lds_by_month))
+    return [(m, certs_by_month.get(m, 0), e2lds_by_month.get(m, 0)) for m in months]
+
+
+# -- Figure 5b: the 2018 spike, split by issuer ---------------------------------
+
+
+def build_fig5b(
+    findings: StaleFindings,
+    first_month: str = "2018-01",
+    last_month: str = "2019-12",
+    top_issuers: int = 4,
+) -> Dict[str, Dict[str, int]]:
+    """month -> issuer -> stale certificates from registrant change, over
+    the spike window, keeping the top issuers (others fold into 'Other')."""
+    raw: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    issuer_totals: Dict[str, int] = defaultdict(int)
+    for finding in findings.of_class(StalenessClass.REGISTRANT_CHANGE):
+        month = month_key(finding.invalidation_day)
+        if not first_month <= month <= last_month:
+            continue
+        issuer = finding.certificate.issuer_name
+        raw[month][issuer] += 1
+        issuer_totals[issuer] += 1
+    keep = {
+        issuer
+        for issuer, _ in sorted(issuer_totals.items(), key=lambda kv: -kv[1])[:top_issuers]
+    }
+    folded: Dict[str, Dict[str, int]] = {}
+    for month, by_issuer in raw.items():
+        row: Dict[str, int] = {}
+        for issuer, count in by_issuer.items():
+            label = issuer if issuer in keep else "Other"
+            row[label] = row.get(label, 0) + count
+        folded[month] = row
+    return folded
+
+
+# -- Figure 6: staleness-period CDFs per third-party class ----------------------
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    staleness_class: StalenessClass
+    curve: List[Tuple[float, float]]
+    median_days: float
+    proportion_over_90: float
+
+
+def build_fig6(findings: StaleFindings) -> List[CdfSeries]:
+    series: List[CdfSeries] = []
+    for cls in _THIRD_PARTY_CLASSES:
+        items = findings.of_class(cls)
+        if not items:
+            continue
+        ecdf = Ecdf(f.staleness_days for f in items)
+        series.append(
+            CdfSeries(
+                staleness_class=cls,
+                curve=ecdf.curve(points=120),
+                median_days=ecdf.median_value,
+                proportion_over_90=ecdf.proportion_above(90),
+            )
+        )
+    return series
+
+
+# -- Figure 7: registrant-change staleness by change year -----------------------
+
+
+def build_fig7(
+    findings: StaleFindings, years: Sequence[int] = range(2016, 2022)
+) -> Dict[int, CdfSeries]:
+    """year of registrant change -> staleness CDF for that cohort."""
+    by_year: Dict[int, List[int]] = defaultdict(list)
+    for finding in findings.of_class(StalenessClass.REGISTRANT_CHANGE):
+        year = year_of(finding.invalidation_day)
+        if year in years:
+            by_year[year].append(finding.staleness_days)
+    result: Dict[int, CdfSeries] = {}
+    for year, samples in sorted(by_year.items()):
+        ecdf = Ecdf(samples)
+        result[year] = CdfSeries(
+            staleness_class=StalenessClass.REGISTRANT_CHANGE,
+            curve=ecdf.curve(points=80),
+            median_days=ecdf.median_value,
+            proportion_over_90=ecdf.proportion_above(90),
+        )
+    return result
+
+
+# -- Figure 8: survival curves (days from issuance to invalidation) ------------
+
+
+@dataclass(frozen=True)
+class SurvivalSeries:
+    staleness_class: StalenessClass
+    survival_at_90: float
+    survival_at_215: float
+    steps: List[Tuple[float, float]]
+
+
+def build_fig8(findings: StaleFindings) -> List[SurvivalSeries]:
+    series: List[SurvivalSeries] = []
+    for cls in _THIRD_PARTY_CLASSES:
+        items = findings.of_class(cls)
+        if not items:
+            continue
+        curve = SurvivalCurve(f.days_to_invalidation for f in items)
+        series.append(
+            SurvivalSeries(
+                staleness_class=cls,
+                survival_at_90=curve.survival_at(90),
+                survival_at_215=curve.survival_at(215),
+                steps=[(p.time, p.survival) for p in curve.steps()],
+            )
+        )
+    return series
+
+
+# -- Figure 9: staleness-days under hypothetical lifetime caps -----------------
+
+
+def build_fig9(
+    findings: StaleFindings, caps: Sequence[int] = STUDIED_CAPS
+) -> Dict[StalenessClass, List[CapResult]]:
+    simulator = LifetimePolicySimulator(findings)
+    result: Dict[StalenessClass, List[CapResult]] = {}
+    for cls in _THIRD_PARTY_CLASSES:
+        if findings.of_class(cls):
+            result[cls] = simulator.sweep(cls, caps)
+    return result

@@ -1,0 +1,62 @@
+"""Table 6: popularity of domains found in stale certificates.
+
+For each staleness class, take the e2LDs of all findings, look up each
+domain's most popular (minimum) rank across the biannual 2014–2022 samples,
+and count how many fall inside each Top-N bucket — cumulative buckets, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.core.stale import StalenessClass, StaleFindings
+from repro.popularity.alexa import (
+    BIANNUAL_SAMPLE_DAYS,
+    RANK_BUCKETS,
+    PopularityProvider,
+    rank_buckets,
+)
+
+#: Class order of Table 6's columns.
+TABLE6_CLASSES = (
+    StalenessClass.REGISTRANT_CHANGE,
+    StalenessClass.MANAGED_TLS_DEPARTURE,
+    StalenessClass.KEY_COMPROMISE,
+)
+
+
+@dataclass(frozen=True)
+class Table6Column:
+    staleness_class: StalenessClass
+    bucket_counts: Dict[int, int]  # Top-N -> count
+    total_domains: int
+
+    def percent_in_top_1m(self) -> float:
+        if not self.total_domains:
+            return 0.0
+        return 100.0 * self.bucket_counts.get(1_000_000, 0) / self.total_domains
+
+
+def build_table6(
+    findings: StaleFindings,
+    provider: PopularityProvider,
+    sample_days: Sequence[int] = BIANNUAL_SAMPLE_DAYS,
+    classes: Sequence[StalenessClass] = TABLE6_CLASSES,
+) -> List[Table6Column]:
+    """One column per staleness class."""
+    columns: List[Table6Column] = []
+    for cls in classes:
+        e2lds: Set[str] = set()
+        for finding in findings.of_class(cls):
+            e2lds.update(finding.affected_e2lds())
+        min_ranks = [provider.min_rank(domain, sample_days) for domain in sorted(e2lds)]
+        columns.append(
+            Table6Column(
+                staleness_class=cls,
+                bucket_counts=rank_buckets(min_ranks, RANK_BUCKETS),
+                total_domains=len(e2lds),
+            )
+        )
+    return columns

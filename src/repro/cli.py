@@ -1,0 +1,319 @@
+"""Command-line interface.
+
+Drives the full reproduction from a shell::
+
+    python -m repro simulate  --scale 0.1
+    python -m repro detect    --scale 0.1
+    python -m repro lifetime  --scale 0.1 --caps 45,90,215
+    python -m repro report    --scale 0.1 --experiment fig6
+    python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
+
+Every command simulates (or reuses, within one invocation) a seeded world,
+so results are reproducible given ``--seed``/``--scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    LifetimePolicySimulator,
+    MeasurementPipeline,
+    StalenessClass,
+    WorldConfig,
+    simulate_world,
+)
+from repro.analysis.aggregate import build_table3, build_table4
+from repro.analysis.crl_coverage import build_table7
+from repro.analysis.figures import build_fig4, build_fig6, build_fig8
+from repro.analysis.report import render_table
+from repro.core.advisory import StaleCertificateAdvisor
+from repro.util.dates import day_to_iso, parse_day
+
+_EXPERIMENTS = (
+    "summary", "table1", "table2", "table3", "table4", "table7",
+    "fig4", "fig6", "fig8",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Stale TLS Certificates' (IMC 2023).",
+    )
+    parser.add_argument("--seed", type=int, default=20231024, help="world seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="world size multiplier (default 0.1)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("simulate", help="simulate a world and print dataset sizes")
+
+    detect = sub.add_parser("detect", help="run the three detectors; print Table 4")
+    detect.add_argument(
+        "--bundle", default=None,
+        help="load a saved dataset bundle directory instead of simulating",
+    )
+    detect.add_argument(
+        "--save-findings", default=None, metavar="PATH",
+        help="also write findings as JSONL (.gz supported)",
+    )
+
+    save = sub.add_parser(
+        "save", help="simulate a world and persist its dataset bundle"
+    )
+    save.add_argument("--dir", required=True, help="output directory")
+
+    lifetime = sub.add_parser("lifetime", help="lifetime-cap policy analysis (Section 6)")
+    lifetime.add_argument(
+        "--caps", default="45,90,215", help="comma-separated caps in days"
+    )
+
+    report = sub.add_parser("report", help="print one reproduced table/figure")
+    report.add_argument("--experiment", choices=_EXPERIMENTS, default="table4")
+
+    advise = sub.add_parser(
+        "advise", help="BygoneSSL-style pre-acquisition check against simulated CT"
+    )
+    advise.add_argument("domain", help="domain being acquired")
+    advise.add_argument(
+        "--acquired", required=True, help="acquisition date (YYYY-MM-DD)"
+    )
+    return parser
+
+
+def _world(args):
+    print(f"simulating world (seed={args.seed}, scale={args.scale}) ...", file=sys.stderr)
+    return simulate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+
+
+def _pipeline_result(world):
+    return MeasurementPipeline(
+        world.to_bundle(),
+        revocation_cutoff_day=world.config.timeline.revocation_cutoff,
+    ).run()
+
+
+def cmd_simulate(args) -> int:
+    world = _world(args)
+    rows = [(key, value) for key, value in sorted(world.dataset_summary().items())]
+    print(render_table(["Dataset quantity", "Count"], rows, title="Simulated world"))
+    return 0
+
+
+def cmd_detect(args) -> int:
+    if getattr(args, "bundle", None):
+        from repro.ecosystem.persistence import load_bundle
+        from repro.ecosystem.timeline import DEFAULT_TIMELINE
+
+        print(f"loading bundle from {args.bundle} ...", file=sys.stderr)
+        bundle = load_bundle(args.bundle)
+        result = MeasurementPipeline(
+            bundle, revocation_cutoff_day=DEFAULT_TIMELINE.revocation_cutoff
+        ).run()
+    else:
+        world = _world(args)
+        result = _pipeline_result(world)
+    if getattr(args, "save_findings", None):
+        from repro.util.storage import dump_jsonl
+
+        written = dump_jsonl(
+            args.save_findings,
+            (finding.to_record() for finding in result.findings.all_findings()),
+        )
+        print(f"wrote {written} findings to {args.save_findings}", file=sys.stderr)
+    rows = build_table4(result)
+    print(
+        render_table(
+            ["Method", "Date range", "Daily certs", "Total certs",
+             "Daily e2LDs", "Total e2LDs"],
+            [
+                (r.method, r.date_range, round(r.daily_certs, 2), r.total_certs,
+                 round(r.daily_e2lds, 2), r.total_e2lds)
+                for r in rows
+            ],
+            title="Stale certificate detection (Table 4)",
+        )
+    )
+    return 0
+
+
+def cmd_save(args) -> int:
+    from repro.ecosystem.persistence import save_bundle
+
+    world = _world(args)
+    counts = save_bundle(world.to_bundle(), args.dir)
+    rows = sorted(counts.items())
+    print(render_table(["File", "Records"], rows, title=f"Bundle saved to {args.dir}"))
+    return 0
+
+
+def cmd_lifetime(args) -> int:
+    caps = [int(part) for part in args.caps.split(",") if part.strip()]
+    if not caps or any(cap <= 0 for cap in caps):
+        print("error: --caps must be positive integers", file=sys.stderr)
+        return 2
+    world = _world(args)
+    result = _pipeline_result(world)
+    simulator = LifetimePolicySimulator(result.findings)
+    rows = []
+    for cls in (
+        StalenessClass.KEY_COMPROMISE,
+        StalenessClass.REGISTRANT_CHANGE,
+        StalenessClass.MANAGED_TLS_DEPARTURE,
+    ):
+        if not result.findings.of_class(cls):
+            continue
+        for cap_result in simulator.sweep(cls, caps):
+            rows.append(
+                (cls.value, cap_result.cap_days,
+                 f"{100 * cap_result.staleness_days_reduction:.1f}%",
+                 f"{100 * cap_result.certificate_reduction:.1f}%")
+            )
+    for cap in caps:
+        rows.append(
+            ("OVERALL", cap,
+             f"{100 * simulator.overall_staleness_reduction(cap):.1f}%", "-")
+        )
+    print(
+        render_table(
+            ["Class", "Cap (days)", "Staleness-days reduction", "Certs eliminated"],
+            rows,
+            title="Lifetime-cap simulation (Section 6 / Figure 9)",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    if args.experiment in ("table1", "table2"):
+        return _print_taxonomy(args.experiment)
+    world = _world(args)
+    if args.experiment == "table3":
+        rows = build_table3(world)
+        print(render_table(["Dataset", "Used for", "Date range", "Size"],
+                           [(r.dataset, r.used_for, r.date_range, r.size) for r in rows],
+                           title="Table 3"))
+        return 0
+    if args.experiment == "table7":
+        rows = build_table7(world.crl_fetcher)
+        print(render_table(["CA operator", "Coverage"],
+                           [(r.ca_operator, r.coverage_text) for r in rows],
+                           title="Table 7"))
+        return 0
+    result = _pipeline_result(world)
+    if args.experiment == "summary":
+        from repro.analysis.summary import render_summary
+
+        print(render_summary(result))
+        return 0
+    if args.experiment == "table4":
+        return cmd_detect_from(result)
+    if args.experiment == "fig4":
+        series = build_fig4(result.findings)
+        issuers = sorted({i for counts in series.values() for i in counts})
+        rows = [[m] + [series[m].get(i, 0) for i in issuers] for m in sorted(series)]
+        print(render_table(["Month"] + issuers, rows, title="Figure 4"))
+        return 0
+    if args.experiment == "fig6":
+        rows = [
+            (s.staleness_class.value, f"{s.median_days:.0f}", f"{s.proportion_over_90:.2f}")
+            for s in build_fig6(result.findings)
+        ]
+        print(render_table(["Class", "Median staleness (d)", "P(>90d)"], rows,
+                           title="Figure 6"))
+        return 0
+    if args.experiment == "fig8":
+        rows = [
+            (s.staleness_class.value, f"{s.survival_at_90:.3f}", f"{s.survival_at_215:.3f}")
+            for s in build_fig8(result.findings)
+        ]
+        print(render_table(["Class", "S(90)", "S(215)"], rows, title="Figure 8"))
+        return 0
+    return 2
+
+
+def _print_taxonomy(which: str) -> int:
+    """Tables 1 and 2 are pure taxonomy — no simulation needed."""
+    from repro.core.taxonomy import CERTIFICATE_INFORMATION_TAXONOMY, INVALIDATION_EVENTS
+
+    if which == "table1":
+        print(
+            render_table(
+                ["Category", "Description", "Related fields"],
+                [
+                    (row.category.value, row.description, ", ".join(row.related_fields))
+                    for row in CERTIFICATE_INFORMATION_TAXONOMY
+                ],
+                title="Table 1: Certificate Information Taxonomy",
+            )
+        )
+    else:
+        print(
+            render_table(
+                ["Invalidation event", "Category", "Example", "Controlled by", "Implication"],
+                [
+                    (
+                        spec.event.value,
+                        spec.category.value,
+                        spec.example,
+                        spec.controlled_by.value,
+                        spec.implication.value,
+                    )
+                    for spec in INVALIDATION_EVENTS
+                ],
+                title="Table 2: Certificate Invalidation Events",
+            )
+        )
+    return 0
+
+
+def cmd_detect_from(result) -> int:
+    rows = build_table4(result)
+    print(
+        render_table(
+            ["Method", "Daily e2LDs", "Total e2LDs"],
+            [(r.method, round(r.daily_e2lds, 2), r.total_e2lds) for r in rows],
+            title="Table 4",
+        )
+    )
+    return 0
+
+
+def cmd_advise(args) -> int:
+    try:
+        acquired = parse_day(args.acquired)
+    except ValueError:
+        print(f"error: invalid date {args.acquired!r} (want YYYY-MM-DD)", file=sys.stderr)
+        return 2
+    world = _world(args)
+    advisor = StaleCertificateAdvisor(world.corpus)
+    report = advisor.check_acquisition(args.domain, acquired)
+    print(report.summary())
+    for exposure in report.exposures:
+        print(f"  - {exposure.describe()}")
+    if report.exposure_ends is not None:
+        print(
+            f"exposure fully ends {day_to_iso(report.exposure_ends)}; revocation "
+            "helps only clients that check (see paper Section 2.4)."
+        )
+    return 0 if report.is_clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "detect": cmd_detect,
+        "save": cmd_save,
+        "lifetime": cmd_lifetime,
+        "report": cmd_report,
+        "advise": cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""First-party staleness: key rotation / disuse (paper §3.4, Table 2).
+
+The paper measures only the three third-party classes, but its taxonomy
+notes that "the majority of certificate invalidation events lead to stale
+certificates controlled by the domain owner" — chiefly key rotation, where
+a replacement certificate (new key, same names) is issued while the prior
+certificate is still unexpired. The old key remains technically valid but
+disused; the security impact is minimal because the owner still controls it.
+
+This detector quantifies that claim over a CT corpus: the first-party
+ablation bench checks that rotation staleness dwarfs the third-party
+classes, exactly as §3.4 asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.stale import StaleCertificate, StalenessClass, StaleFindings
+from repro.ct.dedup import CertificateCorpus
+from repro.pki.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class Rotation:
+    """A detected key rotation: *superseded* gives way to *replacement*."""
+
+    superseded: Certificate
+    replacement: Certificate
+
+    @property
+    def overlap_days(self) -> int:
+        """Days the disused key remains valid after its replacement."""
+        return max(0, self.superseded.not_after - self.replacement.not_before)
+
+
+class KeyRotationDetector:
+    """Finds same-name, different-key reissuance with validity overlap."""
+
+    def __init__(self, corpus: CertificateCorpus) -> None:
+        self._corpus = corpus
+
+    def find_rotations(self) -> List[Rotation]:
+        """Group certificates by identical SAN sets and issuer; each
+        consecutive pair with a key change and overlapping validity is a
+        rotation (ACME renewals are the dominant source)."""
+        groups: Dict[Tuple[FrozenSet[str], str], List[Certificate]] = {}
+        for certificate in self._corpus.certificates():
+            key = (certificate.fqdns(), certificate.issuer_name)
+            groups.setdefault(key, []).append(certificate)
+        rotations: List[Rotation] = []
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            members.sort(key=lambda c: (c.not_before, c.serial))
+            for previous, current in zip(members, members[1:]):
+                if current.not_before > previous.not_after:
+                    continue  # gap: expiry-driven renewal, nothing stale
+                if current.subject_key.key_id == previous.subject_key.key_id:
+                    continue  # key reuse: nothing became disused
+                rotations.append(Rotation(superseded=previous, replacement=current))
+        return rotations
+
+    def detect(self, findings: Optional[StaleFindings] = None) -> StaleFindings:
+        """Emit first-party stale-certificate records for every rotation."""
+        out = findings if findings is not None else StaleFindings()
+        for rotation in self.find_rotations():
+            if rotation.overlap_days <= 0:
+                continue
+            out.add(
+                StaleCertificate(
+                    certificate=rotation.superseded,
+                    staleness_class=StalenessClass.FIRST_PARTY_KEY_ROTATION,
+                    invalidation_day=rotation.replacement.not_before,
+                    detail=f"replaced_by={rotation.replacement.serial}",
+                )
+            )
+        return out

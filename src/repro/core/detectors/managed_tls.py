@@ -1,0 +1,195 @@
+"""Managed-TLS departure via daily DNS diffing (paper §4.3).
+
+A Cloudflare-managed certificate is identifiable by the
+``sni*.cloudflaressl.com`` SAN entry accompanying customer domains. A
+*departure* is detected when any Cloudflare nameserver or CNAME
+(``*.ns.cloudflare.com`` / ``*.cdn.cloudflare.com``) present for a domain on
+one scan day is absent on the next. If the departing domain still has an
+unexpired Cloudflare-managed certificate, the CDN retains a valid key for a
+domain it no longer serves — a third-party stale certificate from the
+departure day to notAfter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.ct.dedup import CertificateCorpus
+from repro.core.stale import StaleCertificate, StalenessClass, StaleFindings
+from repro.dns.records import RecordType
+from repro.dns.snapshots import SnapshotStore, diff_days
+from repro.pki.certificate import Certificate
+from repro.util.dates import Day
+
+#: SAN suffix marking Cloudflare-managed certificates.
+CLOUDFLARE_MANAGED_SAN_SUFFIX = "cloudflaressl.com"
+#: Managed-certificate SAN shape: sni<digits>.cloudflaressl.com.
+_SNI_SAN_RE = re.compile(r"^sni\d+\.cloudflaressl\.com$")
+#: Delegation names that indicate Cloudflare is serving the domain.
+_CLOUDFLARE_DELEGATION_RE = re.compile(
+    r"\.(ns|cdn)\.cloudflare\.com$"
+)
+
+
+def is_cloudflare_managed_certificate(certificate: Certificate) -> bool:
+    """Whether the certificate is CDN-managed (vs customer-uploaded).
+
+    The sni*.cloudflaressl.com SAN is what distinguishes Cloudflare-managed
+    issuance from certificates a customer uploaded themselves (paper §4.3).
+    """
+    return any(_SNI_SAN_RE.match(san) for san in certificate.san_dns_names)
+
+
+def is_cloudflare_delegation(target: str) -> bool:
+    return bool(_CLOUDFLARE_DELEGATION_RE.search(target.lower().rstrip(".")))
+
+
+@dataclass(frozen=True)
+class Departure:
+    """One detected managed-TLS departure."""
+
+    apex: str
+    departure_day: Day
+    removed_targets: FrozenSet[str]
+
+
+def find_departures(store: SnapshotStore) -> List[Departure]:
+    """Scan consecutive snapshot pairs for Cloudflare delegation loss.
+
+    Real daily scans suffer transient lookup failures; a domain that merely
+    *vanished for one day* and reappears still Cloudflare-delegated is scan
+    loss, not a departure. The paper compares each day "with neighboring
+    days" — so a disappearance only counts when the following scan (when
+    one exists) confirms the domain is still gone or no longer delegated to
+    Cloudflare.
+    """
+    departures: List[Departure] = []
+    ordered_days = store.days()
+    day_index = {d: i for i, d in enumerate(ordered_days)}
+    for before, after in store.consecutive_pairs():
+        for diff in diff_days(before, after):
+            removed = {
+                target
+                for target in (
+                    diff.removed_of(RecordType.NS) | diff.removed_of(RecordType.CNAME)
+                )
+                if is_cloudflare_delegation(target)
+            }
+            if not removed:
+                continue
+            if diff.disappeared:
+                if _reappears_on_cloudflare(
+                    store, ordered_days, day_index, after.day, diff.apex
+                ):
+                    continue  # transient scan loss
+            else:
+                # Verify no Cloudflare delegation remains on the later day:
+                # a partial nameserver shuffle within Cloudflare is not a
+                # departure.
+                obs_after = after.get(diff.apex)
+                if obs_after is not None and any(
+                    is_cloudflare_delegation(t) for t in obs_after.delegation_targets()
+                ):
+                    continue
+            departures.append(
+                Departure(
+                    apex=diff.apex,
+                    departure_day=diff.day_after,
+                    removed_targets=frozenset(removed),
+                )
+            )
+    return departures
+
+
+#: How many later scans to consult before trusting a disappearance.
+#: Consecutive lookup failures happen; the first *observation* decides.
+DISAPPEARANCE_LOOKAHEAD_SCANS = 3
+
+
+def _reappears_on_cloudflare(
+    store: SnapshotStore,
+    ordered_days: List,
+    day_index: Dict,
+    after_day,
+    apex: str,
+) -> bool:
+    start = day_index[after_day] + 1
+    for position in range(start, min(start + DISAPPEARANCE_LOOKAHEAD_SCANS, len(ordered_days))):
+        snapshot = store.get(ordered_days[position])
+        obs = snapshot.get(apex) if snapshot is not None else None
+        if obs is None:
+            continue  # still unobserved; could be another lookup failure
+        # First actual observation decides: back on Cloudflare = scan loss.
+        return any(is_cloudflare_delegation(t) for t in obs.delegation_targets())
+    return False  # never reappeared within the lookahead: trust the loss
+
+
+class ManagedTlsDetector:
+    """Joins DNS-observed departures against Cloudflare-managed certs."""
+
+    def __init__(self, corpus: CertificateCorpus) -> None:
+        self._corpus = corpus
+        self._managed_by_domain: Optional[Dict[str, List[Certificate]]] = None
+
+    def _index(self) -> Dict[str, List[Certificate]]:
+        """Customer domain -> Cloudflare-managed certificates covering it."""
+        if self._managed_by_domain is None:
+            index: Dict[str, List[Certificate]] = {}
+            for certificate in self._corpus.certificates():
+                if not is_cloudflare_managed_certificate(certificate):
+                    continue
+                for san in certificate.fqdns():
+                    if san.endswith("." + CLOUDFLARE_MANAGED_SAN_SUFFIX):
+                        continue  # the CDN's own marker SAN
+                    index.setdefault(san, []).append(certificate)
+            self._managed_by_domain = index
+        return self._managed_by_domain
+
+    def detect(
+        self,
+        store: SnapshotStore,
+        findings: Optional[StaleFindings] = None,
+    ) -> StaleFindings:
+        out = findings if findings is not None else StaleFindings()
+        index = self._index()
+        emitted: Set[Tuple[str, str, Day]] = set()
+        for departure in find_departures(store):
+            for domain, certificates in _domains_under(index, departure.apex):
+                for certificate in certificates:
+                    if not certificate.is_valid_on(departure.departure_day):
+                        continue
+                    key = (
+                        certificate.dedup_fingerprint(),
+                        domain,
+                        departure.departure_day,
+                    )
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    out.add(
+                        StaleCertificate(
+                            certificate=certificate,
+                            staleness_class=StalenessClass.MANAGED_TLS_DEPARTURE,
+                            invalidation_day=departure.departure_day,
+                            affected_domain=domain,
+                            detail=f"left={','.join(sorted(departure.removed_targets))}",
+                        )
+                    )
+        return out
+
+
+def _domains_under(
+    index: Dict[str, List[Certificate]], apex: str
+) -> Iterable[Tuple[str, List[Certificate]]]:
+    """Certificate-covered FQDNs at or beneath a departed apex.
+
+    The scan operates on apexes (e2LDs from zone files); managed
+    certificates may cover subdomains (www, mail, ...), all of which become
+    stale when the apex leaves the CDN.
+    """
+    suffix = "." + apex
+    for domain, certificates in index.items():
+        if domain == apex or domain.endswith(suffix):
+            yield domain, certificates

@@ -1,0 +1,32 @@
+"""Certificate Transparency substrate (RFC 6962 shape).
+
+The paper's primary dataset is CT: 5B deduplicated certificates from 117
+logs trusted by Chrome or Apple, 2013–2023. This package implements the log
+machinery — append-only Merkle tree with inclusion and consistency proofs,
+SCT issuance, temporal sharding, trust-list membership — plus the monitor
+client and the precert/cert dedup that produce the certificate corpus the
+detectors consume.
+"""
+
+from repro.ct.merkle import MerkleTree, verify_consistency, verify_inclusion
+from repro.ct.log import CtLog, LogEntry, LogShardingPolicy, SignedCertificateTimestamp
+from repro.ct.loglist import LogList, LogListEntry, TrustOperator
+from repro.ct.client import CtMonitor, MonitorState
+from repro.ct.dedup import CertificateCorpus, DedupStats
+
+__all__ = [
+    "MerkleTree",
+    "verify_consistency",
+    "verify_inclusion",
+    "CtLog",
+    "LogEntry",
+    "LogShardingPolicy",
+    "SignedCertificateTimestamp",
+    "LogList",
+    "LogListEntry",
+    "TrustOperator",
+    "CtMonitor",
+    "MonitorState",
+    "CertificateCorpus",
+    "DedupStats",
+]

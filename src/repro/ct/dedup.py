@@ -1,0 +1,105 @@
+"""Certificate corpus assembly with precert/cert dedup and outlier filtering.
+
+Implements two corpus rules from paper Section 4:
+
+* *Dedup*: "We deduplicate precertificates and issued certificates based on
+  their non-CT components" — both map to one logical certificate via
+  :meth:`Certificate.dedup_fingerprint`.
+* *Anomalous-FQDN filter*: "we ignore fully qualified domain names that have
+  more than 3K certificates" (test domains like flowers-to-the-world.com).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.pki.certificate import Certificate
+
+#: Paper's per-FQDN anomaly threshold.
+ANOMALOUS_FQDN_CERT_LIMIT = 3000
+
+
+@dataclass
+class DedupStats:
+    """Bookkeeping from corpus assembly."""
+
+    raw_entries: int = 0
+    duplicates_collapsed: int = 0
+    anomalous_fqdns: Set[str] = field(default_factory=set)
+    certificates_dropped_as_anomalous: int = 0
+
+    @property
+    def unique_certificates(self) -> int:
+        return self.raw_entries - self.duplicates_collapsed
+
+
+class CertificateCorpus:
+    """The deduplicated certificate set the detectors operate on."""
+
+    def __init__(self, fqdn_cert_limit: int = ANOMALOUS_FQDN_CERT_LIMIT) -> None:
+        self._by_fingerprint: Dict[str, Certificate] = {}
+        self._fqdn_counts: Dict[str, int] = {}
+        self._fqdn_cert_limit = fqdn_cert_limit
+        self.stats = DedupStats()
+
+    def ingest(self, certificates: Iterable[Certificate]) -> None:
+        """Add certificates (or precertificates); duplicates collapse.
+
+        When both the precertificate and the final certificate are seen, the
+        final certificate (with SCTs) wins as the canonical instance.
+        """
+        for certificate in certificates:
+            self.stats.raw_entries += 1
+            fingerprint = certificate.dedup_fingerprint()
+            existing = self._by_fingerprint.get(fingerprint)
+            if existing is None:
+                self._by_fingerprint[fingerprint] = certificate
+                for fqdn in certificate.fqdns():
+                    self._fqdn_counts[fqdn] = self._fqdn_counts.get(fqdn, 0) + 1
+            else:
+                self.stats.duplicates_collapsed += 1
+                if existing.is_precertificate and not certificate.is_precertificate:
+                    self._by_fingerprint[fingerprint] = certificate
+
+    def finalize(self) -> "CertificateCorpus":
+        """Apply the anomalous-FQDN filter; call after all ingestion."""
+        anomalous = {
+            fqdn
+            for fqdn, count in self._fqdn_counts.items()
+            if count > self._fqdn_cert_limit
+        }
+        if anomalous:
+            self.stats.anomalous_fqdns = anomalous
+            keep: Dict[str, Certificate] = {}
+            for fingerprint, certificate in self._by_fingerprint.items():
+                if certificate.fqdns() & anomalous:
+                    self.stats.certificates_dropped_as_anomalous += 1
+                else:
+                    keep[fingerprint] = certificate
+            self._by_fingerprint = keep
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def certificates(self) -> Iterator[Certificate]:
+        return iter(self._by_fingerprint.values())
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def by_revocation_key(self) -> Dict[Tuple[str, int], Certificate]:
+        """Index by (authority key id, serial) — the CRL cross-reference key."""
+        return {cert.revocation_key(): cert for cert in self._by_fingerprint.values()}
+
+    def covering_domain(self, fqdn: str) -> List[Certificate]:
+        return [cert for cert in self._by_fingerprint.values() if cert.covers_name(fqdn)]
+
+    def with_san_suffix(self, suffix: str) -> List[Certificate]:
+        """Certificates with any SAN under *suffix* (e.g. cloudflaressl.com)."""
+        needle = "." + suffix.lower().strip(".")
+        return [
+            cert
+            for cert in self._by_fingerprint.values()
+            if any(san == needle[1:] or san.endswith(needle) for san in cert.san_dns_names)
+        ]

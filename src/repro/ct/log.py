@@ -1,0 +1,158 @@
+"""CT log server: submission, SCTs, temporal sharding, entry retrieval.
+
+Mirrors the operational shape of production logs: precertificates are
+submitted before final issuance, the log returns a Signed Certificate
+Timestamp (SCT) within its maximum merge delay, entries land in an
+append-only Merkle tree, and — as the paper notes in Section 7.2 — modern
+logs are *temporally sharded*: a shard only accepts certificates whose
+notAfter falls inside its year window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ct.merkle import MerkleTree
+from repro.pki.certificate import Certificate
+from repro.util.dates import Day, day, day_to_iso
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """The log's promise to incorporate an entry (RFC 6962 §3)."""
+
+    log_id: str
+    timestamp_day: Day
+    entry_fingerprint: str
+
+    def token(self) -> str:
+        material = f"{self.log_id}:{self.timestamp_day}:{self.entry_fingerprint}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One sequenced entry in a log."""
+
+    index: int
+    certificate: Certificate
+    submitted_on: Day
+
+    def leaf_bytes(self) -> bytes:
+        return (
+            f"{self.certificate.dedup_fingerprint()}:"
+            f"{int(self.certificate.is_precertificate)}"
+        ).encode("utf-8")
+
+
+class ShardRejection(Exception):
+    """Submission outside a temporal shard's notAfter window."""
+
+
+@dataclass(frozen=True)
+class LogShardingPolicy:
+    """Temporal shard acceptance window (by certificate expiry year)."""
+
+    not_after_start: Optional[Day] = None  # inclusive
+    not_after_end: Optional[Day] = None  # exclusive
+
+    @classmethod
+    def for_year(cls, year: int) -> "LogShardingPolicy":
+        return cls(not_after_start=day(year, 1, 1), not_after_end=day(year + 1, 1, 1))
+
+    def accepts(self, certificate: Certificate) -> bool:
+        if self.not_after_start is not None and certificate.not_after < self.not_after_start:
+            return False
+        if self.not_after_end is not None and certificate.not_after >= self.not_after_end:
+            return False
+        return True
+
+
+class CtLog:
+    """One CT log (possibly a temporal shard of a log family)."""
+
+    def __init__(
+        self,
+        log_id: str,
+        operator: str,
+        sharding: Optional[LogShardingPolicy] = None,
+        max_merge_delay_days: int = 1,
+    ) -> None:
+        self.log_id = log_id
+        self.operator = operator
+        self.sharding = sharding or LogShardingPolicy()
+        self.max_merge_delay_days = max_merge_delay_days
+        self._tree = MerkleTree()
+        self._entries: List[LogEntry] = []
+        self._by_fingerprint: Dict[Tuple[str, bool], int] = {}
+
+    def submit(self, certificate: Certificate, submission_day: Day) -> SignedCertificateTimestamp:
+        """Submit a (pre)certificate; returns an SCT.
+
+        Duplicate submissions return the original SCT (logs are idempotent
+        on entry content).
+        """
+        if not self.sharding.accepts(certificate):
+            raise ShardRejection(
+                f"{self.log_id}: notAfter {day_to_iso(certificate.not_after)} "
+                f"outside shard window"
+            )
+        key = (certificate.dedup_fingerprint(), certificate.is_precertificate)
+        existing = self._by_fingerprint.get(key)
+        if existing is not None:
+            entry = self._entries[existing]
+            return SignedCertificateTimestamp(
+                self.log_id, entry.submitted_on, certificate.dedup_fingerprint()
+            )
+        entry = LogEntry(
+            index=len(self._entries), certificate=certificate, submitted_on=submission_day
+        )
+        self._entries.append(entry)
+        self._tree.append(entry.leaf_bytes())
+        self._by_fingerprint[key] = entry.index
+        return SignedCertificateTimestamp(
+            self.log_id, submission_day, certificate.dedup_fingerprint()
+        )
+
+    # -- retrieval (the monitor-facing API) ------------------------------------
+
+    @property
+    def tree_size(self) -> int:
+        return self._tree.size
+
+    def root_hash(self, tree_size: Optional[int] = None) -> bytes:
+        return self._tree.root(tree_size)
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        """Entries in ``[start, end]`` inclusive, like the RFC 6962 endpoint."""
+        if start < 0 or end < start:
+            raise ValueError(f"invalid entry range [{start}, {end}]")
+        return self._entries[start : end + 1]
+
+    def inclusion_proof(self, index: int, tree_size: Optional[int] = None) -> List[bytes]:
+        return self._tree.inclusion_proof(index, tree_size)
+
+    def consistency_proof(self, old_size: int, new_size: Optional[int] = None) -> List[bytes]:
+        return self._tree.consistency_proof(old_size, new_size)
+
+    def entries(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"CtLog({self.log_id!r}, size={self.tree_size})"
+
+
+def shard_family(
+    family_name: str, operator: str, first_year: int, last_year: int
+) -> List[CtLog]:
+    """Create a temporally-sharded log family (e.g. 'argon2021..argon2023')."""
+    return [
+        CtLog(
+            log_id=f"{family_name}{year}",
+            operator=operator,
+            sharding=LogShardingPolicy.for_year(year),
+        )
+        for year in range(first_year, last_year + 1)
+    ]

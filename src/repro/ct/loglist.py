@@ -1,0 +1,100 @@
+"""Trusted-log lists (Chrome / Apple analogues).
+
+The paper collects from "117 CT logs ... trusted by Google Chrome or Apple
+at some point in time". A :class:`LogList` records which operator trusts
+which log over which period; the union across operators defines the corpus
+the monitor ingests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ct.log import CtLog
+from repro.util.dates import Day
+
+
+class TrustOperator(enum.Enum):
+    CHROME = "chrome"
+    APPLE = "apple"
+
+
+@dataclass(frozen=True)
+class LogListEntry:
+    """Trust interval for one log under one root program."""
+
+    log_id: str
+    operator: TrustOperator
+    trusted_from: Day
+    trusted_until: Optional[Day] = None  # None = still trusted
+
+    def trusted_on(self, query_day: Day) -> bool:
+        if query_day < self.trusted_from:
+            return False
+        return self.trusted_until is None or query_day < self.trusted_until
+
+    @property
+    def ever_trusted(self) -> bool:
+        return self.trusted_until is None or self.trusted_until > self.trusted_from
+
+
+class LogList:
+    """Registry of logs and their trust status across root programs."""
+
+    def __init__(self) -> None:
+        self._logs: Dict[str, CtLog] = {}
+        self._entries: List[LogListEntry] = []
+
+    def add_log(self, log: CtLog) -> None:
+        if log.log_id in self._logs:
+            raise ValueError(f"log {log.log_id} already registered")
+        self._logs[log.log_id] = log
+
+    def trust(
+        self,
+        log_id: str,
+        operator: TrustOperator,
+        trusted_from: Day,
+        trusted_until: Optional[Day] = None,
+    ) -> None:
+        if log_id not in self._logs:
+            raise KeyError(f"unknown log {log_id}")
+        self._entries.append(LogListEntry(log_id, operator, trusted_from, trusted_until))
+
+    def distrust(self, log_id: str, operator: TrustOperator, on_day: Day) -> None:
+        """Close the open trust interval for (log, operator)."""
+        for i, entry in enumerate(self._entries):
+            if (
+                entry.log_id == log_id
+                and entry.operator is operator
+                and entry.trusted_until is None
+            ):
+                self._entries[i] = LogListEntry(log_id, operator, entry.trusted_from, on_day)
+                return
+        raise KeyError(f"no open trust interval for {log_id}/{operator.value}")
+
+    def get_log(self, log_id: str) -> CtLog:
+        return self._logs[log_id]
+
+    def logs_trusted_on(self, query_day: Day, operator: Optional[TrustOperator] = None) -> List[CtLog]:
+        ids: Set[str] = set()
+        for entry in self._entries:
+            if operator is not None and entry.operator is not operator:
+                continue
+            if entry.trusted_on(query_day):
+                ids.add(entry.log_id)
+        return [self._logs[log_id] for log_id in sorted(ids)]
+
+    def logs_ever_trusted(self) -> List[CtLog]:
+        """All logs trusted by Chrome or Apple at any point — the paper's
+        collection criterion."""
+        ids = {entry.log_id for entry in self._entries if entry.ever_trusted}
+        return [self._logs[log_id] for log_id in sorted(ids)]
+
+    def all_logs(self) -> List[CtLog]:
+        return [self._logs[log_id] for log_id in sorted(self._logs)]
+
+    def __len__(self) -> int:
+        return len(self._logs)

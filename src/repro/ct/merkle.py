@@ -1,0 +1,182 @@
+"""RFC 6962 Merkle hash tree with inclusion and consistency proofs.
+
+CT's auditability rests on this structure: leaves are hashed with a 0x00
+prefix and interior nodes with 0x01 (domain separation prevents second-
+preimage splicing), the tree head commits to the full append-only sequence,
+inclusion proofs show one entry is present, and consistency proofs show one
+tree head extends another without rewriting history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+LEAF_PREFIX = b"\x00"
+NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(LEAF_PREFIX + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(NODE_PREFIX + left + right).digest()
+
+
+def _root_of(hashes: Sequence[bytes]) -> bytes:
+    """Merkle tree hash over a sequence of leaf hashes (RFC 6962 §2.1)."""
+    n = len(hashes)
+    if n == 0:
+        return hashlib.sha256(b"").digest()
+    if n == 1:
+        return hashes[0]
+    k = _largest_power_of_two_below(n)
+    return node_hash(_root_of(hashes[:k]), _root_of(hashes[k:]))
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than n (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """Append-only Merkle tree over opaque byte-string entries."""
+
+    def __init__(self) -> None:
+        self._leaf_hashes: List[bytes] = []
+
+    def append(self, data: bytes) -> int:
+        """Append an entry; returns its index."""
+        self._leaf_hashes.append(leaf_hash(data))
+        return len(self._leaf_hashes) - 1
+
+    @property
+    def size(self) -> int:
+        return len(self._leaf_hashes)
+
+    def root(self, tree_size: Optional[int] = None) -> bytes:
+        """Root hash over the first *tree_size* entries (default: all)."""
+        size = self.size if tree_size is None else tree_size
+        if not 0 <= size <= self.size:
+            raise ValueError(f"tree size {size} out of range 0..{self.size}")
+        return _root_of(self._leaf_hashes[:size])
+
+    # -- inclusion proofs (RFC 6962 §2.1.1) -----------------------------------
+
+    def inclusion_proof(self, index: int, tree_size: Optional[int] = None) -> List[bytes]:
+        size = self.size if tree_size is None else tree_size
+        if not 0 <= index < size <= self.size:
+            raise ValueError(f"index {index} not in tree of size {size}")
+        return self._subproof_path(index, self._leaf_hashes[:size])
+
+    def _subproof_path(self, m: int, hashes: Sequence[bytes]) -> List[bytes]:
+        n = len(hashes)
+        if n == 1:
+            return []
+        k = _largest_power_of_two_below(n)
+        if m < k:
+            path = self._subproof_path(m, hashes[:k])
+            path.append(_root_of(hashes[k:]))
+        else:
+            path = self._subproof_path(m - k, hashes[k:])
+            path.append(_root_of(hashes[:k]))
+        return path
+
+    # -- consistency proofs (RFC 6962 §2.1.2) ---------------------------------
+
+    def consistency_proof(self, old_size: int, new_size: Optional[int] = None) -> List[bytes]:
+        size = self.size if new_size is None else new_size
+        if not 0 < old_size <= size <= self.size:
+            raise ValueError(f"invalid sizes: old={old_size}, new={size}")
+        if old_size == size:
+            return []
+        return self._consistency_subproof(old_size, self._leaf_hashes[:size], True)
+
+    def _consistency_subproof(
+        self, m: int, hashes: Sequence[bytes], old_is_complete: bool
+    ) -> List[bytes]:
+        n = len(hashes)
+        if m == n:
+            if old_is_complete:
+                return []
+            return [_root_of(hashes)]
+        k = _largest_power_of_two_below(n)
+        if m <= k:
+            path = self._consistency_subproof(m, hashes[:k], old_is_complete)
+            path.append(_root_of(hashes[k:]))
+        else:
+            path = self._consistency_subproof(m - k, hashes[k:], False)
+            path.append(_root_of(hashes[:k]))
+        return path
+
+
+def verify_inclusion(
+    leaf_data: bytes,
+    index: int,
+    tree_size: int,
+    proof: Sequence[bytes],
+    root: bytes,
+) -> bool:
+    """Verify an inclusion proof against a signed tree head root."""
+    if not 0 <= index < tree_size:
+        return False
+    # RFC 9162 §2.1.3.2: walk the proof bottom-up tracking (fn, sn).
+    fn, sn = index, tree_size - 1
+    computed = leaf_hash(leaf_data)
+    for sibling in proof:
+        if sn == 0:
+            return False  # proof longer than the path
+        if fn & 1 or fn == sn:
+            computed = node_hash(sibling, computed)
+            if fn & 1 == 0:
+                while fn != 0 and fn & 1 == 0:
+                    fn >>= 1
+                    sn >>= 1
+        else:
+            computed = node_hash(computed, sibling)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and computed == root
+
+
+def verify_consistency(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: Sequence[bytes],
+) -> bool:
+    """Verify a consistency proof between two tree heads (RFC 6962 §2.1.4.2)."""
+    if old_size == new_size:
+        return old_root == new_root and not proof
+    if not 0 < old_size < new_size:
+        return False
+    proof_list = list(proof)
+    # When old_size is a power of two, the old root itself seeds the walk.
+    if old_size & (old_size - 1) == 0:
+        proof_list.insert(0, old_root)
+    if not proof_list:
+        return False
+    fn, sn = old_size - 1, new_size - 1
+    while fn & 1:
+        fn >>= 1
+        sn >>= 1
+    fr = sr = proof_list[0]
+    for sibling in proof_list[1:]:
+        if sn == 0:
+            return False
+        if fn & 1 or fn == sn:
+            fr = node_hash(sibling, fr)
+            sr = node_hash(sibling, sr)
+            while fn != 0 and fn & 1 == 0:
+                fn >>= 1
+                sn >>= 1
+        else:
+            sr = node_hash(sr, sibling)
+        fn >>= 1
+        sn >>= 1
+    return fr == old_root and sr == new_root and sn == 0

@@ -1,0 +1,153 @@
+"""DANE / TLSA (RFC 6698) — the paper's systemic alternative (§7.2).
+
+DANE publishes the name-to-key binding *in DNS itself*, collapsing the
+third-party dependency chain onto the nameserver operator and shrinking the
+authentication cache duration from certificate lifetimes (months–years) to
+DNS TTLs (hours). This module implements the TLSA record model and
+verification, plus the staleness-window comparison the paper's discussion
+implies: after a key change, a DANE binding is stale for at most one TTL,
+while a PKI certificate stays abusable until notAfter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.dns.records import RecordType
+from repro.dns.resolver import Resolver
+from repro.dns.zone import ZoneStore
+from repro.pki.certificate import Certificate
+from repro.pki.keys import KeyPair
+from repro.psl.registered import DomainName
+from repro.util.dates import Day
+
+
+class TlsaUsage(enum.Enum):
+    """TLSA certificate usages (RFC 6698 §2.1.1)."""
+
+    PKIX_TA = 0  # CA constraint, PKIX validation still required
+    PKIX_EE = 1  # service-certificate constraint + PKIX
+    DANE_TA = 2  # trust anchor assertion, no PKIX
+    DANE_EE = 3  # domain-issued certificate, no PKIX
+
+
+class TlsaSelector(enum.Enum):
+    FULL_CERTIFICATE = 0
+    SPKI = 1
+
+
+class TlsaMatching(enum.Enum):
+    EXACT = 0
+    SHA256 = 1
+
+
+@dataclass(frozen=True)
+class TlsaRecord:
+    """One TLSA resource record (as rendered at _port._proto.name)."""
+
+    usage: TlsaUsage
+    selector: TlsaSelector
+    matching: TlsaMatching
+    association: str  # SPKI fingerprint or certificate fingerprint
+
+    def to_rdata(self) -> str:
+        return (
+            f"{self.usage.value} {self.selector.value} "
+            f"{self.matching.value} {self.association}"
+        )
+
+    @classmethod
+    def from_rdata(cls, rdata: str) -> "TlsaRecord":
+        parts = rdata.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed TLSA rdata: {rdata!r}")
+        return cls(
+            usage=TlsaUsage(int(parts[0])),
+            selector=TlsaSelector(int(parts[1])),
+            matching=TlsaMatching(int(parts[2])),
+            association=parts[3],
+        )
+
+    @classmethod
+    def for_key(cls, key: KeyPair, usage: TlsaUsage = TlsaUsage.DANE_EE) -> "TlsaRecord":
+        return cls(
+            usage=usage,
+            selector=TlsaSelector.SPKI,
+            matching=TlsaMatching.SHA256,
+            association=key.spki_fingerprint,
+        )
+
+    def matches_certificate(self, certificate: Certificate) -> bool:
+        if self.selector is TlsaSelector.SPKI:
+            return self.association == certificate.spki_fingerprint
+        return self.association == certificate.dedup_fingerprint()
+
+
+def tlsa_name(hostname: str, port: int = 443, protocol: str = "tcp") -> str:
+    """The TLSA owner name: _443._tcp.host.example."""
+    return f"_{port}._{protocol}.{DomainName(hostname).name}"
+
+
+#: Default TLSA TTL: the hours-scale cache duration the paper contrasts
+#: with 398-day certificate lifetimes.
+DEFAULT_TLSA_TTL_SECONDS = 3600
+
+
+class DaneDeployment:
+    """Publishes and verifies TLSA bindings over the simulated DNS."""
+
+    def __init__(self, zones: ZoneStore, ttl_seconds: int = DEFAULT_TLSA_TTL_SECONDS) -> None:
+        self._zones = zones
+        self._resolver = Resolver(zones)
+        self.ttl_seconds = ttl_seconds
+
+    def publish(self, hostname: str, record: TlsaRecord, port: int = 443) -> None:
+        """Publish (replacing) the TLSA binding for a service."""
+        zone = self._zones.find_zone_for(hostname)
+        if zone is None:
+            raise KeyError(f"no zone for {hostname}")
+        zone.replace(
+            tlsa_name(hostname, port), RecordType.TXT, [record.to_rdata()],
+            ttl=self.ttl_seconds,
+        )
+
+    def lookup(self, hostname: str, port: int = 443) -> List[TlsaRecord]:
+        resolution = self._resolver.resolve(tlsa_name(hostname, port), RecordType.TXT)
+        if not resolution.ok:
+            return []
+        return [TlsaRecord.from_rdata(rdata) for rdata in resolution.rdatas()]
+
+    def verify(self, hostname: str, certificate: Certificate, port: int = 443) -> bool:
+        """DANE-EE style verification: any published binding matches."""
+        records = self.lookup(hostname, port)
+        return any(record.matches_certificate(certificate) for record in records)
+
+
+@dataclass(frozen=True)
+class StalenessComparison:
+    """Abusable windows after a key change: DANE vs web PKI (§7.2)."""
+
+    dane_stale_seconds: int
+    pki_stale_days: int
+
+    @property
+    def pki_to_dane_ratio(self) -> float:
+        dane_days = max(self.dane_stale_seconds / 86_400.0, 1e-9)
+        return self.pki_stale_days / dane_days
+
+
+def compare_staleness_windows(
+    certificate: Certificate,
+    key_change_day: Day,
+    tlsa_ttl_seconds: int = DEFAULT_TLSA_TTL_SECONDS,
+) -> StalenessComparison:
+    """The paper's discussion quantified: after a key change on
+    *key_change_day*, DANE clients trust the old key for at most one TTL,
+    while PKI clients trust it until the certificate expires."""
+    pki_days = max(0, certificate.not_after - key_change_day)
+    return StalenessComparison(
+        dane_stale_seconds=tlsa_ttl_seconds,
+        pki_stale_days=pki_days,
+    )

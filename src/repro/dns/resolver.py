@@ -1,0 +1,103 @@
+"""A CNAME-chasing stub resolver over the simulated zone store.
+
+The active scanner resolves every apex daily; resolution here follows CNAME
+chains across zones (the delegation pattern CDNs use, paper Section 2.3
+option 3) with loop protection, and reports NXDOMAIN for names whose zones
+have been dropped from the registry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.zone import ZoneStore
+from repro.psl.registered import DomainName
+
+MAX_CNAME_CHAIN = 8
+
+
+class ResolutionStatus(enum.Enum):
+    OK = "ok"
+    NXDOMAIN = "nxdomain"
+    NODATA = "nodata"
+    CNAME_LOOP = "cname_loop"
+    CHAIN_TOO_LONG = "chain_too_long"
+
+
+@dataclass
+class Resolution:
+    """Outcome of resolving (name, rtype)."""
+
+    name: str
+    rtype: RecordType
+    status: ResolutionStatus
+    records: List[ResourceRecord] = field(default_factory=list)
+    cname_chain: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResolutionStatus.OK
+
+    def rdatas(self) -> List[str]:
+        return [record.rdata for record in self.records]
+
+
+class Resolver:
+    """Resolves names against a :class:`ZoneStore`, chasing CNAMEs."""
+
+    def __init__(self, zones: ZoneStore) -> None:
+        self._zones = zones
+
+    def resolve(self, name: str, rtype: RecordType) -> Resolution:
+        """Resolve *name* for *rtype*.
+
+        For non-CNAME queries, a CNAME at the name redirects the query
+        (standard resolver behaviour); the traversed chain is recorded so
+        the scanner can observe CDN delegation targets.
+        """
+        normalized = DomainName(name).name
+        chain: List[str] = []
+        current = normalized
+        visited = {current}
+        while True:
+            zone = self._zones.find_zone_for(current)
+            if zone is None:
+                return Resolution(normalized, rtype, ResolutionStatus.NXDOMAIN, cname_chain=chain)
+            direct = zone.lookup(current, rtype)
+            if direct:
+                return Resolution(normalized, rtype, ResolutionStatus.OK, direct, chain)
+            if rtype is not RecordType.CNAME:
+                cname = zone.lookup(current, RecordType.CNAME)
+                if cname:
+                    target = cname[0].rdata
+                    chain.append(target)
+                    if target in visited:
+                        return Resolution(
+                            normalized, rtype, ResolutionStatus.CNAME_LOOP, cname_chain=chain
+                        )
+                    if len(chain) > MAX_CNAME_CHAIN:
+                        return Resolution(
+                            normalized, rtype, ResolutionStatus.CHAIN_TOO_LONG, cname_chain=chain
+                        )
+                    visited.add(target)
+                    current = target
+                    continue
+            # Name exists in some zone but holds no data of this type at it?
+            status = (
+                ResolutionStatus.NODATA
+                if _name_exists(zone, current)
+                else ResolutionStatus.NXDOMAIN
+            )
+            return Resolution(normalized, rtype, status, cname_chain=chain)
+
+    def resolve_chain(self, name: str) -> Tuple[Resolution, List[str]]:
+        """Resolve A records and also return the full CNAME chain walked."""
+        resolution = self.resolve(name, RecordType.A)
+        return resolution, resolution.cname_chain
+
+
+def _name_exists(zone, name: str) -> bool:
+    return any(existing == name for existing in zone.names())

@@ -1,0 +1,127 @@
+"""Zone-file (RFC 1035 master-file subset) serialization.
+
+The paper's DNS dataset begins with zone files obtained from ICANN's
+Centralized Zone Data Service (CZDS). This module renders simulated zones
+into the standard text format and parses them back, so the scanner's
+"extract the domains from all publicly available zone files" step can be
+exercised against realistic inputs — including comments, $ORIGIN/$TTL
+directives, and relative names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.zone import Zone, ZoneStore
+
+def render_zone(zone: Zone, default_ttl: int = 3600) -> str:
+    """Render a zone in master-file format with $ORIGIN/$TTL directives."""
+    lines: List[str] = [
+        f"$ORIGIN {zone.apex}.",
+        f"$TTL {default_ttl}",
+        f"@\tIN\tSOA\t{zone.soa.primary_ns}. {zone.soa.admin_contact}. "
+        f"( {zone.soa.serial} 7200 3600 1209600 3600 )",
+    ]
+    for record in sorted(zone.all_records(), key=lambda r: (r.name, r.rtype.value, r.rdata)):
+        owner = _relative_name(record.name, zone.apex)
+        rdata = _render_rdata(record)
+        ttl = "" if record.ttl == default_ttl else f"{record.ttl}\t"
+        lines.append(f"{owner}\t{ttl}IN\t{record.rtype.value}\t{rdata}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_zone(text: str) -> Zone:
+    """Parse master-file text back into a :class:`Zone`.
+
+    Supports the subset :func:`render_zone` emits plus comments (``;``),
+    blank lines, and absolute owner names.
+    """
+    origin: Optional[str] = None
+    default_ttl = 3600
+    zone: Optional[Zone] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("$ORIGIN"):
+            origin = line.split()[1].rstrip(".").lower()
+            continue
+        if line.startswith("$TTL"):
+            default_ttl = int(line.split()[1])
+            continue
+        if origin is None:
+            raise ValueError(f"line {line_number}: record before $ORIGIN")
+        if zone is None:
+            zone = Zone(origin)
+        fields = line.split()
+        owner = _absolute_name(fields[0], origin)
+        index = 1
+        ttl = default_ttl
+        if fields[index].isdigit():
+            ttl = int(fields[index])
+            index += 1
+        if fields[index].upper() == "IN":
+            index += 1
+        rtype_text = fields[index].upper()
+        index += 1
+        if rtype_text == "SOA":
+            continue  # SOA is reconstructed from the zone apex
+        try:
+            rtype = RecordType(rtype_text)
+        except ValueError as exc:
+            raise ValueError(f"line {line_number}: unsupported type {rtype_text}") from exc
+        rdata = _parse_rdata(rtype, fields[index:])
+        zone.add(owner, rtype, rdata, ttl)
+    if zone is None:
+        raise ValueError("no records found")
+    return zone
+
+
+def render_store(store: ZoneStore) -> str:
+    """Concatenate every zone of the store (a CZDS-dump analogue)."""
+    return "\n".join(render_zone(store.get(apex)) for apex in store.enumerate_apexes())
+
+
+def extract_apexes(text: str) -> List[str]:
+    """The CZDS workflow's first step: enumerate registered e2LDs by
+    reading the $ORIGIN lines of a zone dump."""
+    apexes = []
+    for line in text.splitlines():
+        if line.startswith("$ORIGIN"):
+            apexes.append(line.split()[1].rstrip(".").lower())
+    return apexes
+
+
+def _relative_name(name: str, apex: str) -> str:
+    if name == apex:
+        return "@"
+    suffix = "." + apex
+    if name.endswith(suffix):
+        return name[: -len(suffix)]
+    return name + "."
+
+
+def _absolute_name(owner: str, origin: str) -> str:
+    if owner == "@":
+        return origin
+    if owner.endswith("."):
+        return owner.rstrip(".").lower()
+    return f"{owner}.{origin}"
+
+
+def _render_rdata(record: ResourceRecord) -> str:
+    if record.rtype in (RecordType.NS, RecordType.CNAME):
+        return record.rdata + "."
+    if record.rtype is RecordType.TXT:
+        return f'"{record.rdata}"'
+    return record.rdata
+
+
+def _parse_rdata(rtype: RecordType, fields: List[str]) -> str:
+    raw = " ".join(fields)
+    if rtype in (RecordType.NS, RecordType.CNAME):
+        return raw.rstrip(".")
+    if rtype is RecordType.TXT:
+        return raw.strip('"')
+    return raw

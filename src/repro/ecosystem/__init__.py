@@ -1,0 +1,37 @@
+"""Seeded web-PKI ecosystem simulator.
+
+Generates a synthetic decade (2013–2023) of the web PKI with the dynamics
+the paper measures: domain registrations and re-registrations, HTTPS
+adoption growth after Let's Encrypt, CDN managed TLS (including Cloudflare's
+cruise-liner certificates and the 2019 transition to per-domain issuance),
+scripted incidents (GoDaddy November 2021 breach, Let's Encrypt reason-code
+reporting from July 2022), CT logging, CRL publication, and daily DNS state.
+
+The simulator's outputs have exactly the shape of the paper's Table 3
+datasets, so the measurement pipeline runs on them unchanged.
+"""
+
+from repro.ecosystem.timeline import Timeline, DEFAULT_TIMELINE
+from repro.ecosystem.cas import CaProfile, CaRegistry, build_standard_cas
+from repro.ecosystem.entities import HostingMode, Registrant
+from repro.ecosystem.cdn import CloudflareService
+from repro.ecosystem.workload import WorldConfig
+from repro.ecosystem.events import GroundTruthEvent, GroundTruthEventType
+from repro.ecosystem.simulator import WorldDatasets, WorldSimulator, simulate_world
+
+__all__ = [
+    "Timeline",
+    "DEFAULT_TIMELINE",
+    "CaProfile",
+    "CaRegistry",
+    "build_standard_cas",
+    "HostingMode",
+    "Registrant",
+    "CloudflareService",
+    "WorldConfig",
+    "GroundTruthEvent",
+    "GroundTruthEventType",
+    "WorldDatasets",
+    "WorldSimulator",
+    "simulate_world",
+]

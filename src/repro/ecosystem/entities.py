@@ -1,0 +1,55 @@
+"""Actors of the simulated ecosystem: registrants and hosting arrangements.
+
+Hosting modes mirror the certificate-management options of paper
+Section 2.3; modes 2–5 are *managed TLS* — a third-party holds the private
+key.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+
+class HostingMode(enum.Enum):
+    """How a domain serves HTTPS (paper §2.3 options)."""
+
+    SELF_MANUAL = "self_manual"  # option 1: self-hosted, manual issuance
+    SELF_ACME = "self_acme"  # option 1: self-hosted, automated issuance
+    KEY_UPLOAD_CDN = "key_upload_cdn"  # option 2: own cert, key uploaded to CDN
+    CLOUDFLARE_MANAGED = "cloudflare_managed"  # option 3: CDN-managed TLS
+    REGISTRAR_MANAGED = "registrar_managed"  # option 4: registrar-managed SSL
+    HOSTING_PLATFORM = "hosting_platform"  # option 5: cPanel/WordPress style
+
+    @property
+    def is_managed_tls(self) -> bool:
+        """Options 2-5: a third-party has private-key access."""
+        return self not in (HostingMode.SELF_MANUAL, HostingMode.SELF_ACME)
+
+
+_registrant_counter = itertools.count(1)
+
+
+@dataclass
+class Registrant:
+    """A domain owner (person or organization)."""
+
+    registrant_id: str
+    malicious: bool = False
+
+    @classmethod
+    def fresh(cls, malicious: bool = False) -> "Registrant":
+        return cls(registrant_id=f"registrant-{next(_registrant_counter)}", malicious=malicious)
+
+
+#: Registrars the simulated registry recognizes (paper cites GoDaddy,
+#: Google Domains, and Namecheap refund policies in §3.1).
+REGISTRARS = (
+    "GoDaddy.com, LLC",
+    "Namecheap, Inc.",
+    "Google Domains",
+    "Tucows Domains Inc.",
+    "GMO Internet",
+    "OVH SAS",
+)

@@ -1,0 +1,43 @@
+"""Ground-truth event records emitted by the simulator.
+
+These are the *oracle*: every invalidation event that actually happened,
+including the ones the paper's conservative detectors cannot see (domain
+transfers, pre-release re-registrations). The recall-ablation bench compares
+detector output against this stream to quantify the paper's "lower bound"
+claim (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.dates import Day
+
+
+class GroundTruthEventType(enum.Enum):
+    DOMAIN_REGISTERED = "domain_registered"
+    DOMAIN_RENEWED = "domain_renewed"
+    DOMAIN_EXPIRED_LAPSED = "domain_expired_lapsed"
+    DOMAIN_RE_REGISTERED = "domain_re_registered"
+    DOMAIN_TRANSFERRED = "domain_transferred"  # invisible to WHOIS detector
+    CERT_ISSUED = "cert_issued"
+    CERT_RENEWED = "cert_renewed"
+    KEY_COMPROMISED = "key_compromised"
+    CERT_REVOKED = "cert_revoked"
+    MANAGED_TLS_ENROLLED = "managed_tls_enrolled"
+    MANAGED_TLS_DEPARTED = "managed_tls_departed"
+    HOSTING_CHANGED = "hosting_changed"
+
+
+@dataclass(frozen=True)
+class GroundTruthEvent:
+    """One dated event with optional domain / serial / party references."""
+
+    event_type: GroundTruthEventType
+    day: Day
+    domain: Optional[str] = None
+    certificate_serial: Optional[int] = None
+    party_id: Optional[str] = None
+    detail: str = ""

@@ -1,0 +1,84 @@
+"""Calendar anchors for the simulated decade.
+
+Every date here comes from the paper (Table 3 collection windows, policy
+changes from Sections 1/2/6, incidents from Section 5) so that simulated
+series line up month-for-month with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.dates import Day, day
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Named days used throughout the simulation and analysis."""
+
+    # Collection windows (paper Table 3 / Table 4)
+    ct_start: Day = day(2013, 3, 1)
+    ct_end: Day = day(2023, 5, 12)
+    crl_collection_start: Day = day(2022, 11, 1)
+    crl_collection_end: Day = day(2023, 5, 5)
+    whois_start: Day = day(2016, 1, 1)
+    whois_end: Day = day(2021, 7, 8)
+    dns_scan_start: Day = day(2022, 8, 1)
+    dns_scan_end: Day = day(2022, 10, 30)
+    #: Revocations before this day are outliers (13 months before CRL
+    #: collection; paper §4.1).
+    revocation_cutoff: Day = day(2021, 10, 1)
+    #: Registrant-change detection window reported in Table 4.
+    registrant_window_start: Day = day(2013, 4, 16)
+    registrant_window_end: Day = day(2021, 7, 9)
+
+    # Policy changes (Sections 1, 2, 6)
+    lets_encrypt_launch: Day = day(2015, 12, 3)
+    limit_825_effective: Day = day(2018, 3, 1)
+    limit_398_effective: Day = day(2020, 9, 1)
+
+    # Ecosystem shifts (Section 5.2)
+    https_growth_inflection: Day = day(2018, 1, 1)
+    cruiseliner_era_start: Day = day(2017, 6, 1)
+    cruiseliner_phaseout_start: Day = day(2019, 4, 1)
+    cruiseliner_phaseout_end: Day = day(2019, 10, 1)
+
+    # Incidents (Sections 5.1, 5.3)
+    #: The intruder had provisioning-system access from September 6, 2021;
+    #: keys provisioned during the exposure window were compromised.
+    godaddy_breach_exposure_start: Day = day(2021, 9, 6)
+    godaddy_breach_disclosure: Day = day(2021, 11, 17)
+    godaddy_breach_revocation_end: Day = day(2021, 12, 31)
+    lets_encrypt_kc_reporting_start: Day = day(2022, 7, 1)
+
+    @property
+    def simulation_start(self) -> Day:
+        return self.ct_start
+
+    @property
+    def simulation_end(self) -> Day:
+        return self.ct_end
+
+    def in_dns_scan_window(self, query_day: Day) -> bool:
+        return self.dns_scan_start <= query_day <= self.dns_scan_end
+
+    def in_crl_window(self, query_day: Day) -> bool:
+        return self.crl_collection_start <= query_day <= self.crl_collection_end
+
+    def in_whois_window(self, query_day: Day) -> bool:
+        return self.whois_start <= query_day <= self.whois_end
+
+    def cruiseliner_share(self, query_day: Day) -> float:
+        """Fraction of Cloudflare managed issuance using cruise-liner
+        batching on a given day (1.0 in the era, ramping to 0 through 2019)."""
+        if query_day < self.cruiseliner_era_start:
+            return 0.0
+        if query_day < self.cruiseliner_phaseout_start:
+            return 1.0
+        if query_day >= self.cruiseliner_phaseout_end:
+            return 0.0
+        span = self.cruiseliner_phaseout_end - self.cruiseliner_phaseout_start
+        return 1.0 - (query_day - self.cruiseliner_phaseout_start) / span
+
+
+DEFAULT_TIMELINE = Timeline()

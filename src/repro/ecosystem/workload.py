@@ -1,0 +1,187 @@
+"""World-simulation configuration.
+
+All rates are per-day unless noted. The default configuration is tuned so a
+full 2013–2023 run completes in well under a minute on a laptop while
+reproducing the paper's qualitative dynamics; absolute counts are therefore
+~three orders of magnitude below the paper's internet-scale numbers
+(documented in DESIGN.md / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.ecosystem.entities import HostingMode
+from repro.ecosystem.timeline import DEFAULT_TIMELINE, Timeline
+from repro.util.dates import Day, day
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs for :class:`~repro.ecosystem.simulator.WorldSimulator`."""
+
+    seed: int = 20231024  # the paper's presentation date at IMC'23
+    timeline: Timeline = field(default_factory=lambda: DEFAULT_TIMELINE)
+    #: Global event-volume multiplier set by :meth:`scaled`; population-
+    #: independent rates (revocations) multiply by this so a small test
+    #: world keeps the same *relative* class magnitudes as the default.
+    event_rate_factor: float = 1.0
+
+    # -- domain registration dynamics -----------------------------------------
+    #: (from-day, new registrations per day) schedule; HTTPS-era growth.
+    registration_rate_schedule: Tuple[Tuple[Day, float], ...] = (
+        (day(2013, 3, 1), 2.0),
+        (day(2016, 1, 1), 3.5),
+        (day(2018, 1, 1), 6.0),
+        (day(2020, 1, 1), 7.5),
+        (day(2022, 1, 1), 8.0),
+    )
+    registration_term_days: int = 365
+    #: Probability the registrant renews at expiration.
+    renew_probability: float = 0.68
+    #: Probability a released name gets re-registered by someone.
+    re_registration_probability: float = 0.80
+    #: Probability a re-registration is a same-day drop-catch.
+    drop_catch_probability: float = 0.72
+    #: Max days after release for non-drop-catch re-registration.
+    re_registration_max_delay: int = 600
+    #: Transfers (invisible registrant changes) per 1K domains per day.
+    transfer_rate_per_1k: float = 0.02
+
+    # -- TLS adoption -------------------------------------------------------------
+    #: (from-day, probability a new domain deploys TLS).
+    tls_adoption_schedule: Tuple[Tuple[Day, float], ...] = (
+        (day(2013, 3, 1), 0.18),
+        (day(2016, 1, 1), 0.35),
+        (day(2018, 1, 1), 0.62),
+        (day(2020, 1, 1), 0.80),
+    )
+    #: (from-day, {hosting mode: weight}) — evolving hosting mix.
+    hosting_mix_schedule: Tuple[Tuple[Day, Tuple[Tuple[HostingMode, float], ...]], ...] = (
+        (
+            day(2013, 3, 1),
+            (
+                (HostingMode.SELF_MANUAL, 7.0),
+                (HostingMode.KEY_UPLOAD_CDN, 0.5),
+                (HostingMode.CLOUDFLARE_MANAGED, 0.8),
+                (HostingMode.REGISTRAR_MANAGED, 1.2),
+                (HostingMode.HOSTING_PLATFORM, 0.5),
+            ),
+        ),
+        (
+            day(2016, 6, 1),
+            (
+                (HostingMode.SELF_MANUAL, 4.0),
+                (HostingMode.SELF_ACME, 3.0),
+                (HostingMode.KEY_UPLOAD_CDN, 0.7),
+                (HostingMode.CLOUDFLARE_MANAGED, 1.8),
+                (HostingMode.REGISTRAR_MANAGED, 1.4),
+                (HostingMode.HOSTING_PLATFORM, 1.1),
+            ),
+        ),
+        (
+            day(2019, 1, 1),
+            (
+                (HostingMode.SELF_MANUAL, 2.2),
+                (HostingMode.SELF_ACME, 4.5),
+                (HostingMode.KEY_UPLOAD_CDN, 0.8),
+                (HostingMode.CLOUDFLARE_MANAGED, 2.8),
+                (HostingMode.REGISTRAR_MANAGED, 1.5),
+                (HostingMode.HOSTING_PLATFORM, 1.4),
+            ),
+        ),
+    )
+    #: Probability a manually-managed certificate is renewed at expiry.
+    manual_renew_probability: float = 0.85
+
+    # -- managed TLS churn -----------------------------------------------------------
+    #: Cloudflare customer departures per 1K customers per day (~27%/year).
+    cdn_departure_rate_per_1k: float = 0.9
+    #: Existing TLS domains migrating onto Cloudflare per 1K per day.
+    cdn_enrollment_rate_per_1k: float = 0.3
+    #: Share of departures drawn from customers enrolled within ~90 days
+    #: (front-loaded churn; calibrates Figure 8's managed-TLS curve).
+    cdn_early_churn_share: float = 0.42
+    #: Probability a departed domain stands up new TLS elsewhere.
+    post_departure_reissue_probability: float = 0.8
+
+    # -- revocation dynamics -----------------------------------------------------------
+    #: (from-day, key compromises per day) background schedule; the rising
+    #: baseline of Figure 4 (GoDaddy's spike is scripted separately).
+    key_compromise_rate_schedule: Tuple[Tuple[Day, float], ...] = (
+        (day(2013, 3, 1), 0.010),
+        (day(2021, 6, 1), 0.035),
+        (day(2022, 1, 1), 0.05),
+        (day(2022, 7, 1), 0.08),
+        (day(2023, 1, 1), 0.11),
+    )
+    #: Mean days from issuance to key compromise (exponential; Figure 8's
+    #: "99% of key compromise within 90 days of issuance").
+    compromise_delay_mean_days: float = 20.0
+    #: Days from compromise to CA revocation (detection + response lag).
+    revocation_lag_max_days: int = 5
+    #: Other-reason revocations (superseded, cessation, ...) per day.
+    other_revocation_rate_schedule: Tuple[Tuple[Day, float], ...] = (
+        (day(2013, 3, 1), 0.5),
+        (day(2018, 1, 1), 3.0),
+        (day(2021, 1, 1), 8.0),
+    )
+
+    # -- GoDaddy breach script (Section 5.1) ----------------------------------------
+    #: Fraction of GoDaddy-issued certificates provisioned during the
+    #: September–November 2021 exposure window whose keys leaked.
+    godaddy_breach_exposure_fraction: float = 0.9
+
+    # -- malicious actors (Table 5) ---------------------------------------------------
+    #: Probability a registrant is a malicious operator.
+    malicious_registrant_probability: float = 0.012
+
+    # -- DNS scanning --------------------------------------------------------------
+    #: Per-lookup loss rate during the daily scan window.
+    dns_scan_loss_rate: float = 0.002
+
+    def registration_rate(self, query_day: Day) -> float:
+        return _schedule_value(self.registration_rate_schedule, query_day, 0.0)
+
+    def tls_adoption(self, query_day: Day) -> float:
+        return _schedule_value(self.tls_adoption_schedule, query_day, 0.0)
+
+    def key_compromise_rate(self, query_day: Day) -> float:
+        return self.event_rate_factor * _schedule_value(
+            self.key_compromise_rate_schedule, query_day, 0.0
+        )
+
+    def other_revocation_rate(self, query_day: Day) -> float:
+        return self.event_rate_factor * _schedule_value(
+            self.other_revocation_rate_schedule, query_day, 0.0
+        )
+
+    def hosting_mix(self, query_day: Day) -> Dict[HostingMode, float]:
+        mix: Tuple[Tuple[HostingMode, float], ...] = self.hosting_mix_schedule[0][1]
+        for start, value in self.hosting_mix_schedule:
+            if query_day >= start:
+                mix = value
+        return dict(mix)
+
+    def scaled(self, factor: float) -> "WorldConfig":
+        """A copy with registration volume scaled by *factor* (tests use
+        small worlds; benches can use larger ones)."""
+        schedule = tuple(
+            (start, rate * factor) for start, rate in self.registration_rate_schedule
+        )
+        return replace(
+            self,
+            registration_rate_schedule=schedule,
+            event_rate_factor=self.event_rate_factor * factor,
+        )
+
+
+def _schedule_value(
+    schedule: Tuple[Tuple[Day, float], ...], query_day: Day, default: float
+) -> float:
+    value = default
+    for start, entry in schedule:
+        if query_day >= start:
+            value = entry
+    return value

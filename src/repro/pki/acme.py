@@ -1,0 +1,230 @@
+"""ACME-style automated issuance (RFC 8555 subset).
+
+Models the order flow that made short-lived certificates operationally
+viable (paper Section 2.2): account registration, order creation with one
+authorization per identifier, challenge provisioning, finalization, and —
+critically for the staleness analysis — *auto-renewal*: unattended re-
+issuance that can prolong a soon-to-be-broken name-to-key mapping
+(Section 7.1, "automatic issuance").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.records import RecordType
+from repro.dns.zone import ZoneStore
+from repro.pki.ca import CertificateAuthority, IssuanceError
+from repro.pki.certificate import Certificate
+from repro.pki.keys import KeyPair, KeyStore
+from repro.pki.validation import ChallengeType, DvChallenge, DvValidator, ValidationError
+from repro.psl.registered import DomainName
+from repro.util.dates import Day
+
+
+class OrderStatus(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+@dataclass
+class AcmeAccount:
+    """An ACME account (a subscriber identity at one CA)."""
+
+    account_id: str
+    contact: str
+    created_on: Day
+
+
+@dataclass
+class AcmeAuthorization:
+    """Authorization for one identifier within an order."""
+
+    domain: str
+    challenge: DvChallenge
+    validated: bool = False
+
+
+@dataclass
+class AcmeOrder:
+    """One certificate order."""
+
+    order_id: int
+    account_id: str
+    identifiers: Tuple[str, ...]
+    status: OrderStatus
+    authorizations: List[AcmeAuthorization] = field(default_factory=list)
+    certificate: Optional[Certificate] = None
+    error: Optional[str] = None
+
+
+class AcmeServer:
+    """The CA-side ACME endpoint bound to one :class:`CertificateAuthority`."""
+
+    def __init__(self, ca: CertificateAuthority, validator: DvValidator) -> None:
+        self._ca = ca
+        self._validator = validator
+        ca.attach_validator(validator)
+        self._accounts: Dict[str, AcmeAccount] = {}
+        self._orders: Dict[int, AcmeOrder] = {}
+        self._order_counter = itertools.count(1)
+        self._nonce_counter = itertools.count(1)
+
+    @property
+    def validator(self) -> DvValidator:
+        return self._validator
+
+    @property
+    def ca(self) -> CertificateAuthority:
+        return self._ca
+
+    def register_account(self, contact: str, day: Day) -> AcmeAccount:
+        account_id = f"acct-{self._ca.name.lower().replace(' ', '-')}-{len(self._accounts) + 1}"
+        account = AcmeAccount(account_id=account_id, contact=contact, created_on=day)
+        self._accounts[account_id] = account
+        return account
+
+    def new_order(
+        self,
+        account: AcmeAccount,
+        identifiers: Sequence[str],
+        challenge_type: ChallengeType = ChallengeType.HTTP_01,
+    ) -> AcmeOrder:
+        if account.account_id not in self._accounts:
+            raise KeyError(f"unknown ACME account {account.account_id}")
+        names = tuple(DomainName(n).name for n in identifiers)
+        order = AcmeOrder(
+            order_id=next(self._order_counter),
+            account_id=account.account_id,
+            identifiers=names,
+            status=OrderStatus.PENDING,
+        )
+        for name in names:
+            base = DomainName(name).without_wildcard().name
+            challenge = DvChallenge(
+                domain=base,
+                challenge_type=challenge_type,
+                nonce=f"nonce-{next(self._nonce_counter)}",
+                account_id=account.account_id,
+            )
+            order.authorizations.append(AcmeAuthorization(domain=base, challenge=challenge))
+        self._orders[order.order_id] = order
+        return order
+
+    def attempt_challenges(self, order: AcmeOrder, day: Day) -> OrderStatus:
+        """Ask the CA to verify every pending authorization."""
+        for authz in order.authorizations:
+            if authz.validated:
+                continue
+            try:
+                self._validator.validate(authz.challenge, day)
+                authz.validated = True
+            except ValidationError as exc:
+                order.status = OrderStatus.INVALID
+                order.error = str(exc)
+                return order.status
+        order.status = OrderStatus.READY
+        return order.status
+
+    def finalize(
+        self,
+        order: AcmeOrder,
+        subject_key: KeyPair,
+        day: Day,
+        lifetime_days: Optional[int] = None,
+    ) -> Certificate:
+        """Issue the certificate for a READY order."""
+        if order.status is not OrderStatus.READY:
+            raise IssuanceError(f"order {order.order_id} not ready (status={order.status.value})")
+        certificate = self._ca.issue(
+            san_dns_names=list(order.identifiers),
+            subject_key=subject_key,
+            issuance_day=day,
+            lifetime_days=lifetime_days,
+            account_id=order.account_id,
+            skip_validation=True,  # authorizations already validated above
+        )
+        order.status = OrderStatus.VALID
+        order.certificate = certificate
+        return certificate
+
+
+class AcmeClient:
+    """Subscriber-side automation (a certbot analogue) with auto-renewal.
+
+    ``renew_due`` implements the standard renew-at-2/3-of-lifetime rule;
+    the ecosystem simulator drives it daily so certificates keep renewing
+    until automation is switched off — including, deliberately, for domains
+    whose owner is about to change (the staleness amplifier of §7.1).
+    """
+
+    def __init__(
+        self,
+        server: AcmeServer,
+        account: AcmeAccount,
+        zones: ZoneStore,
+        key_store: KeyStore,
+        owner_id: str,
+    ) -> None:
+        self._server = server
+        self.account = account
+        self._zones = zones
+        self._key_store = key_store
+        self._owner_id = owner_id
+
+    def obtain(
+        self,
+        identifiers: Sequence[str],
+        day: Day,
+        lifetime_days: Optional[int] = None,
+        challenge_type: ChallengeType = ChallengeType.DNS_01,
+        reuse_key: Optional[KeyPair] = None,
+    ) -> Certificate:
+        """Full flow: order, provision challenges, validate, finalize."""
+        order = self._server.new_order(self.account, identifiers, challenge_type)
+        for authz in order.authorizations:
+            self._provision(authz.challenge)
+        status = self._server.attempt_challenges(order, day)
+        if status is not OrderStatus.READY:
+            raise IssuanceError(f"challenges failed: {order.error}")
+        key = reuse_key or self._key_store.generate(self._owner_id, day)
+        certificate = self._server.finalize(order, key, day, lifetime_days)
+        for authz in order.authorizations:
+            self._deprovision(authz.challenge)
+        return certificate
+
+    @staticmethod
+    def renew_due(certificate: Certificate, day: Day) -> bool:
+        """True when *day* is past 2/3 of the certificate's lifetime."""
+        threshold = certificate.not_before + (certificate.lifetime_days * 2) // 3
+        return day >= threshold
+
+    def _provision(self, challenge: DvChallenge) -> None:
+        if challenge.challenge_type is ChallengeType.DNS_01:
+            zone = self._zones.find_zone_for(challenge.domain)
+            if zone is None:
+                raise IssuanceError(f"no zone for {challenge.domain}; cannot provision dns-01")
+            zone.replace(
+                challenge.dns_record_name, RecordType.TXT, [challenge.key_authorization]
+            )
+        elif challenge.challenge_type is ChallengeType.HTTP_01:
+            self._server.validator.web.provision_http(
+                challenge.domain, challenge.http_path, challenge.key_authorization
+            )
+        else:
+            self._server.validator.web.provision_alpn(
+                challenge.domain, challenge.key_authorization
+            )
+
+    def _deprovision(self, challenge: DvChallenge) -> None:
+        if challenge.challenge_type is ChallengeType.DNS_01:
+            zone = self._zones.find_zone_for(challenge.domain)
+            if zone is not None:
+                zone.remove(challenge.dns_record_name, RecordType.TXT)
+        elif challenge.challenge_type is ChallengeType.HTTP_01:
+            self._server.validator.web.clear_domain(challenge.domain)

@@ -1,0 +1,83 @@
+"""Certificate chain building and verification.
+
+Leaf certificates reference their issuer through the authority key id
+(Table 1, issuer information). Chain building walks that reference up
+through intermediates to a trusted root; verification additionally checks
+validity windows, CA bits, and name coverage — the checks a TLS client
+performs before the revocation question even arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate, KeyUsage
+from repro.util.dates import Day
+
+MAX_CHAIN_DEPTH = 6
+
+
+class ChainError(Exception):
+    """Raised when no valid chain can be built or verification fails."""
+
+
+def build_chain(
+    leaf: Certificate,
+    authorities: Sequence[CertificateAuthority],
+) -> List[CertificateAuthority]:
+    """Return the issuing-CA path for *leaf*, leaf-issuer first, root last.
+
+    Authorities are matched by authority key id; a CA whose ``parent`` is
+    None is treated as a trust anchor.
+    """
+    by_key_id: Dict[str, CertificateAuthority] = {
+        ca.authority_key_id: ca for ca in authorities
+    }
+    issuer = by_key_id.get(leaf.authority_key_id)
+    if issuer is None:
+        raise ChainError(f"no authority matches key id {leaf.authority_key_id[:12]}...")
+    path: List[CertificateAuthority] = [issuer]
+    current = issuer
+    while current.parent is not None:
+        if len(path) >= MAX_CHAIN_DEPTH:
+            raise ChainError("chain exceeds maximum depth (issuer loop?)")
+        current = current.parent
+        path.append(current)
+    return path
+
+
+def verify_chain(
+    leaf: Certificate,
+    authorities: Sequence[CertificateAuthority],
+    hostname: str,
+    query_day: Day,
+    trusted_roots: Optional[Iterable[CertificateAuthority]] = None,
+) -> List[CertificateAuthority]:
+    """Full client-side verification. Returns the chain on success.
+
+    Checks, in the order a TLS client applies them:
+    1. leaf validity window covers *query_day*;
+    2. leaf SAN covers *hostname* (incl. wildcard rules);
+    3. an issuer path exists up to a root;
+    4. the root is in the trust store (when one is supplied);
+    5. the leaf is not itself a CA certificate being misused.
+    """
+    if not leaf.is_valid_on(query_day):
+        raise ChainError(
+            f"leaf not valid on day {query_day} "
+            f"(window {leaf.not_before}..{leaf.not_after})"
+        )
+    if not leaf.covers_name(hostname):
+        raise ChainError(f"leaf does not cover {hostname}")
+    if leaf.is_ca:
+        raise ChainError("CA certificate presented as a TLS leaf")
+    if KeyUsage.DIGITAL_SIGNATURE not in leaf.key_usage:
+        raise ChainError("leaf lacks digitalSignature key usage")
+    path = build_chain(leaf, authorities)
+    if trusted_roots is not None:
+        roots = set(id(ca) for ca in trusted_roots)
+        if id(path[-1]) not in roots:
+            raise ChainError(f"root {path[-1].name!r} is not trusted")
+    return path

@@ -1,0 +1,180 @@
+"""Simulated TLS server authentication.
+
+The end of the paper's causal chain: a client connects to a hostname, some
+party answers with a certificate chain, and the client either authenticates
+the server or walks away. This module composes the rest of the PKI package
+into that handshake:
+
+* :class:`TlsServer` — holds a certificate + private key and answers
+  handshakes (only a party that actually *holds* the key can run one, which
+  is exactly what makes third-party stale certificates dangerous);
+* :class:`TlsClient` — verifies the chain (validity, names, trust anchors)
+  and applies a revocation-checking policy;
+* :class:`Network` — routes hostnames to servers and lets an on-path
+  interceptor hijack a route, optionally dropping revocation traffic.
+
+`repro.revocation.checking` answers "would revocation save the client?";
+this module answers the full question, chain validation included.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate
+from repro.pki.chain import ChainError, verify_chain
+from repro.pki.keys import KeyPair, KeyStore
+from repro.psl.registered import DomainName
+from repro.revocation.checking import (
+    CheckDecision,
+    ConnectionContext,
+    RevocationChecker,
+    RevocationPolicy,
+)
+from repro.util.dates import Day
+
+
+class HandshakeStatus(enum.Enum):
+    OK = "ok"
+    NO_ROUTE = "no_route"
+    SERVER_LACKS_KEY = "server_lacks_key"
+    CHAIN_INVALID = "chain_invalid"
+    REVOKED = "revoked"
+    REVOCATION_UNAVAILABLE = "revocation_unavailable"
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """Outcome of one client connection attempt."""
+
+    hostname: str
+    status: HandshakeStatus
+    server_id: Optional[str] = None
+    certificate: Optional[Certificate] = None
+    detail: str = ""
+
+    @property
+    def authenticated(self) -> bool:
+        return self.status is HandshakeStatus.OK
+
+
+class TlsServer:
+    """A TLS endpoint presenting one certificate.
+
+    The server proves key possession during the handshake, so construction
+    is only meaningful for a party that holds the private key — verified
+    against the key store's custody record at handshake time.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        certificate: Certificate,
+        key_store: KeyStore,
+    ) -> None:
+        self.server_id = server_id
+        self.certificate = certificate
+        self._key_store = key_store
+
+    def can_prove_possession(self, on_day: Day) -> bool:
+        holders = self._key_store.holders_on(self.certificate.subject_key, on_day)
+        return self.server_id in holders
+
+
+class TlsClient:
+    """A verifying TLS client with a revocation policy."""
+
+    def __init__(
+        self,
+        authorities: Sequence[CertificateAuthority],
+        trusted_roots: Optional[Iterable[CertificateAuthority]] = None,
+        revocation: Optional[RevocationChecker] = None,
+    ) -> None:
+        self._authorities = list(authorities)
+        self._trusted_roots = list(trusted_roots) if trusted_roots is not None else None
+        self._revocation = revocation or RevocationChecker(RevocationPolicy.NONE)
+
+    def handshake(
+        self,
+        hostname: str,
+        server: TlsServer,
+        on_day: Day,
+        context: ConnectionContext = ConnectionContext(),
+    ) -> HandshakeResult:
+        hostname = DomainName(hostname).name
+        if not server.can_prove_possession(on_day):
+            return HandshakeResult(
+                hostname, HandshakeStatus.SERVER_LACKS_KEY, server.server_id,
+                server.certificate, "server cannot complete key-possession proof",
+            )
+        try:
+            verify_chain(
+                server.certificate,
+                self._authorities,
+                hostname,
+                on_day,
+                trusted_roots=self._trusted_roots,
+            )
+        except ChainError as exc:
+            return HandshakeResult(
+                hostname, HandshakeStatus.CHAIN_INVALID, server.server_id,
+                server.certificate, str(exc),
+            )
+        decision = self._revocation.connection_outcome(
+            server.certificate, on_day, context
+        )
+        if decision is CheckDecision.REJECT_REVOKED:
+            return HandshakeResult(
+                hostname, HandshakeStatus.REVOKED, server.server_id, server.certificate
+            )
+        if decision is CheckDecision.REJECT_UNAVAILABLE:
+            return HandshakeResult(
+                hostname,
+                HandshakeStatus.REVOCATION_UNAVAILABLE,
+                server.server_id,
+                server.certificate,
+            )
+        return HandshakeResult(
+            hostname, HandshakeStatus.OK, server.server_id, server.certificate
+        )
+
+
+class Network:
+    """Hostname routing with an optional on-path interceptor."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[str, TlsServer] = {}
+        self._intercepts: Dict[str, TlsServer] = {}
+        self._interceptor_drops_revocation = False
+
+    def route(self, hostname: str, server: TlsServer) -> None:
+        self._routes[DomainName(hostname).name] = server
+
+    def intercept(
+        self, hostname: str, attacker_server: TlsServer, drop_revocation: bool = True
+    ) -> None:
+        """An on-path attacker hijacks a route (ARP/DNS/BGP-level position,
+        paper §3.4) and, by default, drops revocation traffic (§2.4)."""
+        self._intercepts[DomainName(hostname).name] = attacker_server
+        self._interceptor_drops_revocation = drop_revocation
+
+    def clear_intercept(self, hostname: str) -> None:
+        self._intercepts.pop(DomainName(hostname).name, None)
+
+    def connect(self, client: TlsClient, hostname: str, on_day: Day) -> HandshakeResult:
+        """Resolve the effective server (interceptor wins) and handshake."""
+        name = DomainName(hostname).name
+        intercepted = name in self._intercepts
+        server = self._intercepts.get(name) or self._routes.get(name)
+        if server is None:
+            return HandshakeResult(name, HandshakeStatus.NO_ROUTE)
+        context = ConnectionContext(
+            interceptor_drops_revocation_traffic=(
+                intercepted and self._interceptor_drops_revocation
+            ),
+            staple_presented=not intercepted,
+        )
+        return client.handshake(name, server, on_day, context)

@@ -1,0 +1,188 @@
+"""Domain-Validation (DV) challenges.
+
+Implements the nonce-based verification flows from paper Figure 1 /
+Section 2.2: the CA transmits a random nonce which the subscriber must place
+in a custom DNS TXT record (dns-01), an HTTP well-known path (http-01), or a
+TLS ALPN response (tls-alpn-01). A :class:`DvValidator` checks the challenge
+against the simulated network (DNS zone store and a web-server registry) and
+also enforces CAA.
+
+Domain-validation *reuse* (Section 4.4) is modelled by a per-account cache of
+successful validations valid for up to 398 days.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dns.records import RecordType, caa_allows_issuer
+from repro.dns.resolver import Resolver
+from repro.dns.zone import ZoneStore
+from repro.psl.registered import DomainName
+from repro.util.dates import Day
+
+#: CA/Browser Forum limit on reusing prior domain-control evidence.
+VALIDATION_REUSE_DAYS = 398
+
+
+class ChallengeType(enum.Enum):
+    HTTP_01 = "http-01"
+    DNS_01 = "dns-01"
+    TLS_ALPN_01 = "tls-alpn-01"
+
+
+class ValidationError(Exception):
+    """Raised when a DV challenge cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class DvChallenge:
+    """A nonce challenge issued by a CA for one domain."""
+
+    domain: str
+    challenge_type: ChallengeType
+    nonce: str
+    account_id: str
+
+    @property
+    def dns_record_name(self) -> str:
+        return f"_acme-challenge.{self.domain}"
+
+    @property
+    def http_path(self) -> str:
+        return f"/.well-known/acme-challenge/{self.nonce}"
+
+    @property
+    def key_authorization(self) -> str:
+        digest = hashlib.sha256(f"{self.nonce}.{self.account_id}".encode()).hexdigest()
+        return digest[:43]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of a completed challenge."""
+
+    domain: str
+    challenge_type: ChallengeType
+    validated_on: Day
+    account_id: str
+    reused: bool = False
+
+    def usable_on(self, query_day: Day) -> bool:
+        return 0 <= query_day - self.validated_on <= VALIDATION_REUSE_DAYS
+
+
+class WebServerRegistry:
+    """Who answers HTTP/ALPN for each FQDN, and what challenge bodies are
+    provisioned — the "Web Server / CDN / Virt. Hosting" box in Figure 1."""
+
+    def __init__(self) -> None:
+        self._http_bodies: Dict[Tuple[str, str], str] = {}
+        self._alpn_tokens: Dict[str, str] = {}
+
+    def provision_http(self, domain: str, path: str, body: str) -> None:
+        self._http_bodies[(DomainName(domain).name, path)] = body
+
+    def provision_alpn(self, domain: str, token: str) -> None:
+        self._alpn_tokens[DomainName(domain).name] = token
+
+    def fetch_http(self, domain: str, path: str) -> Optional[str]:
+        return self._http_bodies.get((DomainName(domain).name, path))
+
+    def alpn_token(self, domain: str) -> Optional[str]:
+        return self._alpn_tokens.get(DomainName(domain).name)
+
+    def clear_domain(self, domain: str) -> None:
+        name = DomainName(domain).name
+        self._http_bodies = {k: v for k, v in self._http_bodies.items() if k[0] != name}
+        self._alpn_tokens.pop(name, None)
+
+
+class DvValidator:
+    """Validates DV challenges against the simulated network."""
+
+    def __init__(
+        self,
+        zones: ZoneStore,
+        web: Optional[WebServerRegistry] = None,
+        ca_domain: str = "ca.example",
+    ) -> None:
+        self._resolver = Resolver(zones)
+        self._zones = zones
+        self._web = web or WebServerRegistry()
+        self._ca_domain = ca_domain
+        self._reuse_cache: Dict[Tuple[str, str], ValidationResult] = {}
+
+    @property
+    def web(self) -> WebServerRegistry:
+        return self._web
+
+    def check_caa(self, domain: str) -> bool:
+        """Walk the CAA tree from the FQDN toward the root (RFC 8659)."""
+        current: Optional[str] = DomainName(domain).without_wildcard().name
+        while current:
+            resolution = self._resolver.resolve(current, RecordType.CAA)
+            if resolution.ok and resolution.records:
+                return caa_allows_issuer(resolution.records, self._ca_domain)
+            parent = DomainName(current).parent()
+            current = parent.name if parent else None
+        return True
+
+    def validate(self, challenge: DvChallenge, query_day: Day) -> ValidationResult:
+        """Verify a challenge; raises :class:`ValidationError` on failure."""
+        if not self.check_caa(challenge.domain):
+            raise ValidationError(f"CAA forbids {self._ca_domain} issuing for {challenge.domain}")
+        cached = self._reuse_cache.get((challenge.account_id, challenge.domain))
+        if cached is not None and cached.usable_on(query_day):
+            return ValidationResult(
+                domain=challenge.domain,
+                challenge_type=cached.challenge_type,
+                validated_on=cached.validated_on,
+                account_id=challenge.account_id,
+                reused=True,
+            )
+        if challenge.challenge_type is ChallengeType.DNS_01:
+            self._check_dns(challenge)
+        elif challenge.challenge_type is ChallengeType.HTTP_01:
+            self._check_http(challenge)
+        else:
+            self._check_alpn(challenge)
+        result = ValidationResult(
+            domain=challenge.domain,
+            challenge_type=challenge.challenge_type,
+            validated_on=query_day,
+            account_id=challenge.account_id,
+        )
+        self._reuse_cache[(challenge.account_id, challenge.domain)] = result
+        return result
+
+    def _check_dns(self, challenge: DvChallenge) -> None:
+        resolution = self._resolver.resolve(challenge.dns_record_name, RecordType.TXT)
+        if not resolution.ok:
+            raise ValidationError(
+                f"dns-01: no TXT record at {challenge.dns_record_name} "
+                f"({resolution.status.value})"
+            )
+        if challenge.key_authorization not in resolution.rdatas():
+            raise ValidationError("dns-01: TXT record does not contain key authorization")
+
+    def _check_http(self, challenge: DvChallenge) -> None:
+        body = self._web.fetch_http(challenge.domain, challenge.http_path)
+        if body is None:
+            raise ValidationError(f"http-01: {challenge.http_path} not served for {challenge.domain}")
+        if body.strip() != challenge.key_authorization:
+            raise ValidationError("http-01: served body does not match key authorization")
+
+    def _check_alpn(self, challenge: DvChallenge) -> None:
+        token = self._web.alpn_token(challenge.domain)
+        if token is None:
+            raise ValidationError(f"tls-alpn-01: no ALPN responder for {challenge.domain}")
+        if token != challenge.key_authorization:
+            raise ValidationError("tls-alpn-01: ALPN certificate token mismatch")
+
+    def forget_reuse(self, account_id: str, domain: str) -> None:
+        """Drop cached evidence (used by tests and CA policy changes)."""
+        self._reuse_cache.pop((account_id, DomainName(domain).name), None)

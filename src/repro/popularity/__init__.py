@@ -1,0 +1,20 @@
+"""Domain-popularity substrate (the paper's Alexa analysis, Table 6).
+
+Provides Zipf-ranked top lists with biannual samples from 2014–2022 and the
+min-rank lookup the paper uses: "the most popular (lowest) rank that a
+domain in a stale certificate has appeared" across samples.
+"""
+
+from repro.popularity.alexa import (
+    BIANNUAL_SAMPLE_DAYS,
+    PopularityProvider,
+    TopListSample,
+    rank_buckets,
+)
+
+__all__ = [
+    "BIANNUAL_SAMPLE_DAYS",
+    "PopularityProvider",
+    "TopListSample",
+    "rank_buckets",
+]

@@ -1,0 +1,112 @@
+"""Alexa-style top-1M list with biannual samples.
+
+Each simulated domain carries a heavy-tailed base rank (assigned by the
+world simulator from a truncated Zipf over 1..1M). A sample on a given day
+contains every domain alive that day, with its base rank perturbed by churn
+noise — popularity lists shuffle considerably between samples, which is why
+the paper takes the *minimum* rank across all samples per domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.dates import Day, day
+from repro.util.rng import RngStream
+
+#: Biannual sample days 2014–2022, matching the paper's cadence.
+BIANNUAL_SAMPLE_DAYS: Tuple[Day, ...] = tuple(
+    day(year, month, 15) for year in range(2014, 2023) for month in (1, 7)
+)
+
+#: Table 6's popularity buckets.
+RANK_BUCKETS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+
+@dataclass
+class TopListSample:
+    """One dated top-list snapshot: e2LD -> rank (1 = most popular)."""
+
+    day: Day
+    ranks: Dict[str, int]
+
+    def rank_of(self, domain: str) -> Optional[int]:
+        return self.ranks.get(domain)
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+
+class PopularityProvider:
+    """Builds biannual samples and answers min-rank queries."""
+
+    def __init__(
+        self,
+        base_ranks: Mapping[str, int],
+        alive_on: Optional[Mapping[str, Tuple[Day, Day]]] = None,
+        seed: int = 7,
+        churn: float = 0.35,
+    ) -> None:
+        """``base_ranks``: per-domain steady-state rank. ``alive_on``: per-
+        domain (first, last) day the domain existed (domains outside their
+        span are absent from samples). ``churn``: relative rank jitter per
+        sample."""
+        self._base_ranks = dict(base_ranks)
+        self._alive_on = dict(alive_on) if alive_on else None
+        self._rng = RngStream(seed, "popularity-samples")
+        self._churn = churn
+        self._samples: Dict[Day, TopListSample] = {}
+
+    def sample(self, sample_day: Day) -> TopListSample:
+        """The (cached) top-list snapshot for a sample day."""
+        cached = self._samples.get(sample_day)
+        if cached is not None:
+            return cached
+        rng = self._rng.split(f"day-{sample_day}")
+        ranks: Dict[str, int] = {}
+        for domain, base in self._base_ranks.items():
+            if self._alive_on is not None:
+                span = self._alive_on.get(domain)
+                if span is None or not (span[0] <= sample_day <= span[1]):
+                    continue
+            jitter = 1.0 + rng.uniform(-self._churn, self._churn)
+            rank = max(1, min(1_000_000, int(base * jitter)))
+            ranks[domain] = rank
+        sample = TopListSample(day=sample_day, ranks=ranks)
+        self._samples[sample_day] = sample
+        return sample
+
+    def biannual_samples(
+        self, sample_days: Sequence[Day] = BIANNUAL_SAMPLE_DAYS
+    ) -> List[TopListSample]:
+        return [self.sample(d) for d in sample_days]
+
+    def min_rank(
+        self, domain: str, sample_days: Sequence[Day] = BIANNUAL_SAMPLE_DAYS
+    ) -> Optional[int]:
+        """Most popular (lowest) rank across samples, as Table 6 uses."""
+        best: Optional[int] = None
+        for sample_day in sample_days:
+            rank = self.sample(sample_day).rank_of(domain)
+            if rank is not None and (best is None or rank < best):
+                best = rank
+        return best
+
+
+def rank_buckets(
+    min_ranks: Iterable[Optional[int]], buckets: Sequence[int] = RANK_BUCKETS
+) -> Dict[int, int]:
+    """Count domains whose min rank falls within each Top-N bucket.
+
+    Buckets are cumulative, exactly like Table 6: a rank-800 domain counts
+    in Top 1K, Top 10K, Top 100K, and Top 1M.
+    """
+    counts: Dict[int, int] = {bucket: 0 for bucket in buckets}
+    for rank in min_ranks:
+        if rank is None:
+            continue
+        for bucket in buckets:
+            if rank <= bucket:
+                counts[bucket] += 1
+    return counts

@@ -1,0 +1,78 @@
+"""Embedded public-suffix dataset.
+
+A curated subset of the Mozilla Public Suffix List sufficient for the
+simulated ecosystem and for exercising every rule type (plain, multi-label,
+wildcard, exception). The full PSL is ~10K rules; detectors only ever meet
+the TLDs the simulator registers under, plus the special Cloudflare and
+infrastructure names that appear in certificates.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.psl.rules import PublicSuffixList
+
+# Mirrors the PSL file format: comments with //, exception rules with !,
+# wildcard rules with *.
+DEFAULT_SUFFIXES = """\
+// Generic TLDs used by the simulated registries
+com
+net
+org
+io
+info
+biz
+xyz
+online
+site
+app
+dev
+cloud
+// Country-code TLDs
+us
+de
+fr
+nl
+ru
+cn
+br
+in
+au
+// UK-style second-level public suffixes
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+// Japan: mixed plain + prefecture-style
+jp
+co.jp
+ne.jp
+or.jp
+// Brazil second-level
+com.br
+net.br
+org.br
+// Australia second-level
+com.au
+net.au
+org.au
+// Wildcard rule: every label under ck is a public suffix...
+*.ck
+// ...except this registered exception
+!www.ck
+// Kenya wildcard pattern (historical PSL entry style)
+*.kh
+// Infrastructure / platform suffixes (private section analogues)
+cloudflaressl.com
+herokuapp.com
+github.io
+amazonaws.com
+"""
+
+
+@lru_cache(maxsize=1)
+def default_psl() -> PublicSuffixList:
+    """The process-wide default :class:`PublicSuffixList` instance."""
+    return PublicSuffixList.from_lines(DEFAULT_SUFFIXES.splitlines())

@@ -1,0 +1,144 @@
+"""Public Suffix List rule model and matching algorithm.
+
+Implements the algorithm specified at publicsuffix.org/list:
+
+1. Split the domain and each rule into labels, compare right-to-left.
+2. A rule matches when all of its labels match (``*`` matches exactly one
+   label).
+3. Exception rules (``!`` prefix) take priority over any other match.
+4. Among non-exception matches the one with the most labels (longest) wins.
+5. If no rule matches, the prevailing rule is ``*`` (the rightmost label is
+   the public suffix).
+6. The public suffix is the matched rule's labels (for an exception rule,
+   the rule's labels minus the leftmost one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PslRule:
+    """One parsed PSL rule."""
+
+    labels: Tuple[str, ...]  # right-to-left order, e.g. ("uk", "co")
+    is_exception: bool = False
+    is_wildcard: bool = False
+
+    @classmethod
+    def parse(cls, line: str) -> "PslRule":
+        text = line.strip().lower()
+        if not text or text.startswith("//"):
+            raise ValueError(f"not a rule line: {line!r}")
+        is_exception = text.startswith("!")
+        if is_exception:
+            text = text[1:]
+        labels = tuple(reversed(text.split(".")))
+        if any(not label for label in labels):
+            raise ValueError(f"empty label in rule: {line!r}")
+        return cls(labels=labels, is_exception=is_exception, is_wildcard="*" in labels)
+
+    def matches(self, domain_labels_rtl: Sequence[str]) -> bool:
+        """Whether this rule matches a domain given right-to-left labels."""
+        if len(self.labels) > len(domain_labels_rtl):
+            return False
+        for rule_label, domain_label in zip(self.labels, domain_labels_rtl):
+            if rule_label != "*" and rule_label != domain_label:
+                return False
+        return True
+
+    def suffix_length(self) -> int:
+        """Number of labels in the public suffix this rule defines."""
+        if self.is_exception:
+            return len(self.labels) - 1
+        return len(self.labels)
+
+    def as_text(self) -> str:
+        body = ".".join(reversed(self.labels))
+        return ("!" if self.is_exception else "") + body
+
+
+def parse_rules(lines: Iterable[str]) -> List[PslRule]:
+    """Parse rule lines, skipping comments and blanks (PSL file format)."""
+    rules: List[PslRule] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        rules.append(PslRule.parse(stripped))
+    return rules
+
+
+class PublicSuffixList:
+    """A queryable Public Suffix List.
+
+    Rules are indexed by their rightmost (TLD) label so lookups touch only
+    the handful of rules that could possibly match.
+    """
+
+    def __init__(self, rules: Iterable[PslRule]) -> None:
+        self._by_tld: Dict[str, List[PslRule]] = {}
+        for rule in rules:
+            self._by_tld.setdefault(rule.labels[0], []).append(rule)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "PublicSuffixList":
+        return cls(parse_rules(lines))
+
+    def rules_for_tld(self, tld: str) -> List[PslRule]:
+        return list(self._by_tld.get(tld.lower(), []))
+
+    def public_suffix(self, domain: str) -> str:
+        """Return the public suffix (eTLD) of *domain*.
+
+        A bare TLD (or an unknown name) falls back to the implicit ``*``
+        rule: the rightmost label is the suffix.
+        """
+        labels_rtl = _labels_rtl(domain)
+        rule = self._winning_rule(labels_rtl)
+        if rule is None:
+            suffix_len = 1
+        else:
+            suffix_len = rule.suffix_length()
+        suffix_len = min(suffix_len, len(labels_rtl))
+        return ".".join(reversed(labels_rtl[:suffix_len]))
+
+    def registrable_domain(self, domain: str) -> Optional[str]:
+        """Return the e2LD of *domain*, or ``None`` if the name is itself a
+        public suffix (nothing is registered beneath it)."""
+        labels_rtl = _labels_rtl(domain)
+        rule = self._winning_rule(labels_rtl)
+        suffix_len = rule.suffix_length() if rule else 1
+        if len(labels_rtl) <= suffix_len:
+            return None
+        return ".".join(reversed(labels_rtl[: suffix_len + 1]))
+
+    def is_public_suffix(self, domain: str) -> bool:
+        return self.public_suffix(domain) == domain.strip(".").lower()
+
+    def _winning_rule(self, labels_rtl: Sequence[str]) -> Optional[PslRule]:
+        if not labels_rtl:
+            return None
+        candidates = self._by_tld.get(labels_rtl[0], [])
+        exception: Optional[PslRule] = None
+        best: Optional[PslRule] = None
+        for rule in candidates:
+            if not rule.matches(labels_rtl):
+                continue
+            if rule.is_exception:
+                if exception is None or len(rule.labels) > len(exception.labels):
+                    exception = rule
+            elif best is None or len(rule.labels) > len(best.labels):
+                best = rule
+        if exception is not None:
+            return exception
+        return best
+
+
+def _labels_rtl(domain: str) -> List[str]:
+    normalized = domain.strip().strip(".").lower()
+    if not normalized:
+        return []
+    return list(reversed(normalized.split(".")))

@@ -1,0 +1,131 @@
+"""Client-side revocation checking and the interception threat model.
+
+Implements the landscape paper Section 2.4 lays out:
+
+* Chrome / Edge / non-browser agents: no subscriber revocation checking.
+* Firefox / Safari: checking with *soft-fail* — an on-path attacker who
+  drops revocation traffic defeats it.
+* Hard-fail (and Firefox's Must-Staple hard-fail): the only configurations
+  that stop a third-party holding a revoked-but-unexpired key.
+
+`RevocationChecker.connection_outcome` answers the question the paper's
+threat model turns on: does a client accept a *revoked* stale certificate
+presented by an interceptor?
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pki.certificate import Certificate
+from repro.revocation.ocsp import OcspResponder, OcspStatus, StapleCache
+from repro.util.dates import Day
+
+
+class RevocationPolicy(enum.Enum):
+    """Client revocation-checking stances (paper §2.4)."""
+
+    NONE = "none"  # Chrome, Edge, curl, most TLS libraries
+    SOFT_FAIL = "soft_fail"  # Firefox/Safari default
+    HARD_FAIL = "hard_fail"  # rarely deployed
+
+
+class CheckDecision(enum.Enum):
+    ACCEPT = "accept"
+    REJECT_REVOKED = "reject_revoked"
+    REJECT_UNAVAILABLE = "reject_unavailable"  # hard-fail, status unreachable
+
+
+@dataclass(frozen=True)
+class ConnectionContext:
+    """Network conditions for one TLS connection."""
+
+    interceptor_drops_revocation_traffic: bool = False
+    staple_presented: bool = True
+
+
+class RevocationChecker:
+    """Evaluates whether a client accepts a certificate on a given day."""
+
+    def __init__(
+        self,
+        policy: RevocationPolicy,
+        responder: Optional[OcspResponder] = None,
+        staples: Optional[StapleCache] = None,
+        honor_must_staple: bool = False,
+    ) -> None:
+        if policy is not RevocationPolicy.NONE and responder is None:
+            raise ValueError("checking policies require an OCSP responder")
+        self.policy = policy
+        self._responder = responder
+        self._staples = staples
+        self.honor_must_staple = honor_must_staple
+
+    def connection_outcome(
+        self,
+        certificate: Certificate,
+        query_day: Day,
+        context: ConnectionContext = ConnectionContext(),
+        must_staple: bool = False,
+    ) -> CheckDecision:
+        """Decide accept/reject for a presented certificate.
+
+        Assumes chain validation and the validity window already passed —
+        this isolates the revocation question.
+        """
+        if self.policy is RevocationPolicy.NONE:
+            return CheckDecision.ACCEPT
+
+        if must_staple and self.honor_must_staple:
+            staple = None
+            if context.staple_presented and self._staples is not None:
+                staple = self._staples.staple_for(certificate, query_day)
+            if staple is None:
+                # Firefox hard-fails on a missing staple for Must-Staple
+                # certificates (footnote 2 of the paper).
+                return CheckDecision.REJECT_UNAVAILABLE
+            if staple.status is OcspStatus.REVOKED:
+                return CheckDecision.REJECT_REVOKED
+            return CheckDecision.ACCEPT
+
+        if context.interceptor_drops_revocation_traffic:
+            # Live status unavailable: soft-fail accepts, hard-fail rejects.
+            if self.policy is RevocationPolicy.SOFT_FAIL:
+                return CheckDecision.ACCEPT
+            return CheckDecision.REJECT_UNAVAILABLE
+
+        response = self._responder.query(certificate, query_day)
+        if response.status is OcspStatus.REVOKED:
+            return CheckDecision.REJECT_REVOKED
+        if response.status is OcspStatus.UNKNOWN and self.policy is RevocationPolicy.HARD_FAIL:
+            return CheckDecision.REJECT_UNAVAILABLE
+        return CheckDecision.ACCEPT
+
+
+def interception_succeeds(
+    checker: RevocationChecker,
+    stale_certificate: Certificate,
+    query_day: Day,
+    revoked: bool,
+    must_staple: bool = False,
+) -> bool:
+    """Whether a third-party holding *stale_certificate*'s key can intercept.
+
+    The attacker is on-path and drops revocation traffic (the paper's threat
+    model). Returns True when the client would accept the connection. The
+    ``revoked`` flag is informational only — with dropped revocation traffic
+    the client never learns it, which is precisely the paper's point that
+    revocation "does not protect against active TLS interception".
+    """
+    if not stale_certificate.is_valid_on(query_day):
+        return False  # expiration is the one backstop that always works
+    context = ConnectionContext(
+        interceptor_drops_revocation_traffic=True,
+        staple_presented=False,
+    )
+    decision = checker.connection_outcome(
+        stale_certificate, query_day, context, must_staple=must_staple
+    )
+    return decision is CheckDecision.ACCEPT

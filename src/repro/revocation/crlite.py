@@ -1,0 +1,166 @@
+"""CRLite-style compressed revocation sets (paper §7.2, reference [49]).
+
+CRLite pushes *all* revocations to clients as a Bloom-filter cascade: level
+0 is a Bloom filter over the revoked set; its false positives against the
+known universe of valid certificates populate level 1; level 1's false
+positives against the revoked set populate level 2; and so on until a level
+produces no false positives. Because the universe is fully enumerated
+(thanks to CT), membership queries are *exact* for every certificate in the
+universe — the cascade only risks error for certificates it never knew
+about, which the client never asks about.
+
+The paper positions CRLite as the revocation mitigation that could actually
+stop third-party stale certificates if hard-fail hurdles are overcome; the
+`crlite` ablation bench measures how small the full revocation set becomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.pki.certificate import Certificate
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte-string keys."""
+
+    def __init__(self, capacity: int, error_rate: float, salt: bytes) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError("error rate must be in (0, 1)")
+        ln2 = math.log(2)
+        self.bit_count = max(8, int(-capacity * math.log(error_rate) / (ln2 * ln2)))
+        self.hash_count = max(1, int(round(self.bit_count / capacity * ln2)))
+        self._bits = bytearray((self.bit_count + 7) // 8)
+        self._salt = salt
+
+    def _positions(self, key: bytes) -> Iterable[int]:
+        # Double hashing: h1 + i*h2, the standard Kirsch-Mitzenmacher trick.
+        digest = hashlib.sha256(self._salt + key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.bit_count
+
+    def add(self, key: bytes) -> None:
+        for position in self._positions(key):
+            self._bits[position // 8] |= 1 << (position % 8)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[position // 8] & (1 << (position % 8))
+            for position in self._positions(key)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+
+@dataclass(frozen=True)
+class CascadeStats:
+    """Construction statistics for one cascade."""
+
+    revoked_count: int
+    valid_count: int
+    levels: int
+    total_size_bytes: int
+
+    @property
+    def bits_per_revocation(self) -> float:
+        if not self.revoked_count:
+            return 0.0
+        return 8.0 * self.total_size_bytes / self.revoked_count
+
+
+class FilterCascade:
+    """An exact-membership Bloom-filter cascade over a closed universe."""
+
+    def __init__(self, levels: List[BloomFilter]) -> None:
+        self._levels = levels
+
+    @classmethod
+    def build(
+        cls,
+        revoked: Iterable[bytes],
+        valid: Iterable[bytes],
+        error_rate: float = 0.5,
+        max_levels: int = 64,
+    ) -> Tuple["FilterCascade", CascadeStats]:
+        """Build a cascade that exactly separates *revoked* from *valid*.
+
+        ``error_rate`` is the per-level false-positive target; CRLite uses
+        aggressive rates (~0.5 beyond level 0) because later levels mop up.
+        """
+        include: Set[bytes] = set(revoked)
+        exclude: Set[bytes] = set(valid)
+        overlap = include & exclude
+        if overlap:
+            raise ValueError(f"{len(overlap)} keys are both revoked and valid")
+        revoked_count, valid_count = len(include), len(exclude)
+
+        levels: List[BloomFilter] = []
+        depth = 0
+        while include:
+            if depth >= max_levels:
+                raise RuntimeError("cascade failed to converge")
+            # Level 0 is sized generously; deeper levels are tiny.
+            rate = min(error_rate, 0.3) if depth == 0 else error_rate
+            bloom = BloomFilter(len(include), rate, salt=f"level-{depth}".encode())
+            for key in include:
+                bloom.add(key)
+            false_positives = {key for key in exclude if key in bloom}
+            levels.append(bloom)
+            include, exclude = false_positives, include
+            depth += 1
+        cascade = cls(levels)
+        stats = CascadeStats(
+            revoked_count=revoked_count,
+            valid_count=valid_count,
+            levels=len(levels),
+            total_size_bytes=cascade.size_bytes,
+        )
+        return cascade, stats
+
+    def __contains__(self, key: bytes) -> bool:
+        """Exact membership for keys drawn from the construction universe.
+
+        A key is revoked iff it is caught at an even depth: presence in
+        level 0 says "maybe revoked", presence in level 1 says "that was a
+        false positive", and so on.
+        """
+        for depth, bloom in enumerate(self._levels):
+            if key not in bloom:
+                return depth % 2 == 1
+        return len(self._levels) % 2 == 1
+
+    @property
+    def level_count(self) -> int:
+        return len(self._levels)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(bloom.size_bytes for bloom in self._levels)
+
+
+def certificate_key(certificate: Certificate) -> bytes:
+    """The CRLite key of a certificate: issuer key id + serial."""
+    akid, serial = certificate.revocation_key()
+    return f"{akid}:{serial}".encode("utf-8")
+
+
+def build_certificate_cascade(
+    revoked_certificates: Sequence[Certificate],
+    valid_certificates: Sequence[Certificate],
+    error_rate: float = 0.5,
+) -> Tuple[FilterCascade, CascadeStats]:
+    """Build a cascade over certificates, keyed like CRL entries."""
+    return FilterCascade.build(
+        (certificate_key(c) for c in revoked_certificates),
+        (certificate_key(c) for c in valid_certificates),
+        error_rate=error_rate,
+    )

@@ -1,0 +1,94 @@
+"""OCSP responder, stapling, and Must-Staple.
+
+Models the second revocation channel from paper Section 2.4: per-certificate
+status queries, server-side stapling, and the X.509 TLS-feature (Must-Staple)
+extension that — uniquely, in Firefox — hard-fails when the staple is absent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.pki.certificate import Certificate
+from repro.revocation.publisher import CaCrlPublisher
+from repro.revocation.reasons import RevocationReason
+from repro.util.dates import Day
+
+
+class OcspStatus(enum.Enum):
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class OcspResponse:
+    """A signed OCSP response for one certificate."""
+
+    serial: int
+    status: OcspStatus
+    produced_on: Day
+    valid_until: Day
+    revocation_day: Optional[Day] = None
+    reason: Optional[RevocationReason] = None
+
+    def is_fresh_on(self, query_day: Day) -> bool:
+        return self.produced_on <= query_day <= self.valid_until
+
+
+class OcspResponder:
+    """CA-operated OCSP endpoint backed by the CA's revocation records."""
+
+    def __init__(self, publisher: CaCrlPublisher, response_validity_days: int = 7) -> None:
+        self._publisher = publisher
+        self.response_validity_days = response_validity_days
+        self.url = publisher.ca.ocsp_url
+
+    def query(self, certificate: Certificate, query_day: Day) -> OcspResponse:
+        """Answer a status request."""
+        if certificate.authority_key_id != self._publisher.ca.authority_key_id:
+            return OcspResponse(
+                serial=certificate.serial,
+                status=OcspStatus.UNKNOWN,
+                produced_on=query_day,
+                valid_until=query_day + self.response_validity_days,
+            )
+        record = self._publisher.is_revoked(certificate.serial)
+        if record is not None and record.revocation_day <= query_day:
+            return OcspResponse(
+                serial=certificate.serial,
+                status=OcspStatus.REVOKED,
+                produced_on=query_day,
+                valid_until=query_day + self.response_validity_days,
+                revocation_day=record.revocation_day,
+                reason=record.reason,
+            )
+        return OcspResponse(
+            serial=certificate.serial,
+            status=OcspStatus.GOOD,
+            produced_on=query_day,
+            valid_until=query_day + self.response_validity_days,
+        )
+
+
+class StapleCache:
+    """Server-side staple storage: the web server refreshes periodically and
+    presents the cached response during TLS handshakes."""
+
+    def __init__(self, responder: OcspResponder) -> None:
+        self._responder = responder
+        self._staples: Dict[int, OcspResponse] = {}
+
+    def refresh(self, certificate: Certificate, refresh_day: Day) -> OcspResponse:
+        response = self._responder.query(certificate, refresh_day)
+        self._staples[certificate.serial] = response
+        return response
+
+    def staple_for(self, certificate: Certificate, query_day: Day) -> Optional[OcspResponse]:
+        """The staple a server would present, or None if absent/expired."""
+        staple = self._staples.get(certificate.serial)
+        if staple is None or not staple.is_fresh_on(query_day):
+            return None
+        return staple

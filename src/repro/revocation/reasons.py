@@ -1,0 +1,59 @@
+"""RFC 5280 revocation reason codes.
+
+The paper (Section 3) criticizes these codes as a taxonomy — outdated,
+ambiguous, and poorly aligned with security severity — but they remain the
+reporting channel through which key compromise becomes visible (Section 4.1).
+``MOZILLA_PERMITTED_REASONS`` reflects Mozilla's policy of permitting only
+six of the ten original codes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class RevocationReason(enum.Enum):
+    """CRLReason codes from RFC 5280 §5.3.1 (value = DER enumerated value)."""
+
+    UNSPECIFIED = 0
+    KEY_COMPROMISE = 1
+    CA_COMPROMISE = 2
+    AFFILIATION_CHANGED = 3
+    SUPERSEDED = 4
+    CESSATION_OF_OPERATION = 5
+    CERTIFICATE_HOLD = 6
+    # value 7 is unused in RFC 5280
+    REMOVE_FROM_CRL = 8
+    PRIVILEGE_WITHDRAWN = 9
+    AA_COMPROMISE = 10
+
+    @property
+    def is_security_critical(self) -> bool:
+        """Reasons implying third-party key access (the paper's focus)."""
+        return self in (RevocationReason.KEY_COMPROMISE, RevocationReason.CA_COMPROMISE)
+
+
+#: Mozilla permits only these six for subscriber certificates
+#: (wiki.mozilla.org/CA/Revocation_Reasons, cited as [61] in the paper).
+MOZILLA_PERMITTED_REASONS: FrozenSet[RevocationReason] = frozenset(
+    {
+        RevocationReason.UNSPECIFIED,
+        RevocationReason.KEY_COMPROMISE,
+        RevocationReason.AFFILIATION_CHANGED,
+        RevocationReason.SUPERSEDED,
+        RevocationReason.CESSATION_OF_OPERATION,
+        RevocationReason.PRIVILEGE_WITHDRAWN,
+    }
+)
+
+
+def normalize_reason(reason: RevocationReason) -> RevocationReason:
+    """Map a reason onto Mozilla's permitted subset.
+
+    Disallowed codes collapse to UNSPECIFIED, mirroring how CAs must re-map
+    when their tooling emits a non-permitted value.
+    """
+    if reason in MOZILLA_PERMITTED_REASONS:
+        return reason
+    return RevocationReason.UNSPECIFIED

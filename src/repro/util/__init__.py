@@ -1,0 +1,59 @@
+"""Shared utilities: day-granularity time, intervals, RNG streams, statistics.
+
+The whole reproduction operates at day granularity, matching the paper's
+datasets (daily CRL downloads, daily DNS scans, WHOIS creation *dates*,
+certificate notBefore/notAfter compared at day precision).
+"""
+
+from repro.util.dates import (
+    Day,
+    DAYS_PER_YEAR,
+    day,
+    day_to_date,
+    day_to_iso,
+    first_of_month,
+    iso,
+    month_of,
+    month_key,
+    months_between,
+    parse_day,
+    year_of,
+)
+from repro.util.intervals import Interval, intersect_intervals, interval_sweep_join
+from repro.util.rng import RngStream, split_seed
+from repro.util.stats import (
+    Ecdf,
+    SurvivalCurve,
+    median,
+    percentile,
+    quantiles,
+)
+from repro.util.storage import JsonlStore, dump_jsonl, load_jsonl
+
+__all__ = [
+    "Day",
+    "DAYS_PER_YEAR",
+    "day",
+    "day_to_date",
+    "day_to_iso",
+    "first_of_month",
+    "iso",
+    "month_of",
+    "month_key",
+    "months_between",
+    "parse_day",
+    "year_of",
+    "Interval",
+    "intersect_intervals",
+    "interval_sweep_join",
+    "RngStream",
+    "split_seed",
+    "Ecdf",
+    "SurvivalCurve",
+    "median",
+    "percentile",
+    "quantiles",
+    "JsonlStore",
+    "dump_jsonl",
+    "load_jsonl",
+]

@@ -1,0 +1,155 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the reproduction draws from an :class:`RngStream`
+derived from a master seed plus a label path (for example
+``("ecosystem", "registrations")``). Labelled derivation means adding a new
+subsystem or reordering draws in one subsystem never perturbs another, so
+benchmark series stay stable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def split_seed(master_seed: int, *labels: str) -> int:
+    """Derive a child seed from a master seed and a label path.
+
+    Uses SHA-256 over the seed and labels so that derivation is stable across
+    Python versions and platforms (``hash()`` is salted and unsuitable).
+    """
+    digest = hashlib.sha256()
+    digest.update(str(master_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(label.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+class RngStream:
+    """A labelled, independently-seeded random stream.
+
+    Thin wrapper over ``random.Random`` adding stream splitting and the
+    handful of distributions the simulator needs (Zipf-like ranks, bounded
+    Pareto day gaps).
+    """
+
+    def __init__(self, master_seed: int, *labels: str) -> None:
+        self._master_seed = master_seed
+        self._labels = labels
+        self._rng = random.Random(split_seed(master_seed, *labels))
+
+    def split(self, *labels: str) -> "RngStream":
+        """Derive a child stream; draws on the child never affect the parent."""
+        return RngStream(self._master_seed, *self._labels, *labels)
+
+    # -- direct delegation -------------------------------------------------
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, population: Sequence[T], k: int) -> List[T]:
+        return self._rng.sample(population, k)
+
+    def shuffle(self, items: List[T]) -> None:
+        self._rng.shuffle(items)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        return self._rng.choices(items, weights=weights, k=1)[0]
+
+    # -- domain-specific draws ---------------------------------------------
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability *p*."""
+        return self._rng.random() < p
+
+    def poisson(self, lam: float) -> int:
+        """Poisson draw via inversion (lam expected to be modest, < ~700)."""
+        if lam <= 0:
+            return 0
+        # Knuth's algorithm in log space to stay stable for larger lambda.
+        if lam < 30:
+            limit = 2.718281828459045 ** (-lam)
+            k = 0
+            product = self._rng.random()
+            while product > limit:
+                k += 1
+                product *= self._rng.random()
+            return k
+        # Normal approximation with continuity correction for large lambda.
+        draw = self._rng.gauss(lam, lam ** 0.5)
+        return max(0, int(round(draw)))
+
+    def zipf_rank(self, n: int, exponent: float = 1.0) -> int:
+        """Draw a 1-based rank from a truncated Zipf distribution over ``1..n``.
+
+        Used to assign popularity ranks to simulated domains so that top-list
+        membership (Table 6) has a realistic long tail.
+        """
+        if n <= 0:
+            raise ValueError("population must be positive")
+        # Inverse-CDF on the harmonic weights; cached per (n, exponent).
+        cdf = _zipf_cdf(n, exponent)
+        target = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo + 1
+
+    def bounded_pareto_days(self, minimum: int, maximum: int, alpha: float = 1.2) -> int:
+        """Heavy-tailed day gap in ``[minimum, maximum]``.
+
+        Models inter-event times like domain holding periods, where most
+        domains turn over quickly but a long tail is held for years.
+        """
+        if minimum >= maximum:
+            return minimum
+        u = self._rng.random()
+        lo = float(minimum) or 0.5
+        hi = float(maximum)
+        value = (lo ** -alpha - u * (lo ** -alpha - hi ** -alpha)) ** (-1.0 / alpha)
+        return max(minimum, min(maximum, int(round(value))))
+
+
+_ZIPF_CACHE: dict = {}
+
+
+def _zipf_cdf(n: int, exponent: float) -> List[float]:
+    key = (n, exponent)
+    cached = _ZIPF_CACHE.get(key)
+    if cached is not None:
+        return cached
+    weights = [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    total = sum(weights)
+    acc = 0.0
+    cdf = []
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    if len(_ZIPF_CACHE) > 32:  # keep the cache tiny; configs are few
+        _ZIPF_CACHE.clear()
+    _ZIPF_CACHE[key] = cdf
+    return cdf

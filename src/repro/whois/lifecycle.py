@@ -1,0 +1,98 @@
+"""Domain registration lifecycle (paper Sections 2.1, 4.4).
+
+The post-expiration timeline modelled here follows the gTLD lifecycle the
+paper references ([50, 53]): a registration that is not renewed passes
+through a ~45-day auto-renew grace period, a 30-day redemption period, and a
+5-day pending-delete window before the registry releases the name for public
+re-registration (including drop-catch services). Only deletion followed by
+re-registration resets the registry Creation Date — the signal the paper's
+detector keys on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.dates import Day
+
+#: Days after expiration during which the registrant can renew normally.
+AUTO_RENEW_GRACE_DAYS = 45
+#: Days of redemption (restore possible, with fee) after the grace period.
+REDEMPTION_DAYS = 30
+#: Days in pending-delete before the registry releases the name.
+PENDING_DELETE_DAYS = 5
+
+
+class DomainState(enum.Enum):
+    """Registry-visible state of a domain name."""
+
+    ACTIVE = "active"
+    AUTO_RENEW_GRACE = "auto_renew_grace"
+    REDEMPTION = "redemption"
+    PENDING_DELETE = "pending_delete"
+    RELEASED = "released"  # deleted; available for public registration
+
+
+class LifecycleEventType(enum.Enum):
+    """Events a registration can undergo, with staleness relevance.
+
+    ``TRANSFER`` covers the paper's registrant-change cases 1 and 2
+    (intra/inter-registrar transfer and pre-release transfer), which do NOT
+    reset the creation date and are therefore invisible to the paper's
+    detector — the simulator emits them so the recall ablation can quantify
+    what the conservative method misses.
+    """
+
+    REGISTERED = "registered"
+    RENEWED = "renewed"
+    EXPIRED = "expired"
+    RESTORED = "restored"  # renewal during grace/redemption
+    TRANSFERRED = "transferred"  # new registrant, same creation date
+    DELETED = "deleted"  # released by the registry
+    RE_REGISTERED = "re_registered"  # new creation date, possibly new owner
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One dated lifecycle transition for a domain."""
+
+    domain: str
+    event_type: LifecycleEventType
+    day: Day
+    registrant_id: Optional[str] = None  # owner after the event, if any
+    previous_registrant_id: Optional[str] = None
+
+    @property
+    def changes_registrant(self) -> bool:
+        return (
+            self.registrant_id is not None
+            and self.previous_registrant_id is not None
+            and self.registrant_id != self.previous_registrant_id
+        )
+
+
+def state_on(expiration_day: Day, query_day: Day, deleted: bool = False) -> DomainState:
+    """Derive a domain's lifecycle state on *query_day* from its expiration.
+
+    Assumes no restore occurred; the registry tracks restores explicitly and
+    only calls this for un-renewed registrations.
+    """
+    if deleted:
+        return DomainState.RELEASED
+    if query_day <= expiration_day:
+        return DomainState.ACTIVE
+    days_past = query_day - expiration_day
+    if days_past <= AUTO_RENEW_GRACE_DAYS:
+        return DomainState.AUTO_RENEW_GRACE
+    if days_past <= AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS:
+        return DomainState.REDEMPTION
+    if days_past <= AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS + PENDING_DELETE_DAYS:
+        return DomainState.PENDING_DELETE
+    return DomainState.RELEASED
+
+
+def release_day(expiration_day: Day) -> Day:
+    """First day the name is publicly re-registerable after expiring."""
+    return expiration_day + AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS + PENDING_DELETE_DAYS + 1

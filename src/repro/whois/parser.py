@@ -1,0 +1,158 @@
+"""WHOIS text rendering and parsing.
+
+Real WHOIS responses are free text whose field names and date formats differ
+per registrar, and registrant contact lines are increasingly GDPR-redacted
+(paper Section 4.2). The renderer reproduces several registrar "dialects" so
+the parser — and the paper's decision to trust only thin registry fields —
+can be exercised against realistic inconsistency.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Dict, Optional
+
+from repro.util.dates import Day, day_to_date
+from repro.whois.lifecycle import DomainState
+from repro.whois.record import ThinWhoisRecord
+
+#: Field-name variants seen across registrar WHOIS dialects.
+_CREATION_KEYS = ("creation date", "created on", "registered on", "domain registration date")
+_EXPIRY_KEYS = ("registry expiry date", "expiration date", "expires on", "paid-till")
+_UPDATED_KEYS = ("updated date", "last updated on", "last modified")
+_REGISTRAR_KEYS = ("registrar", "sponsoring registrar")
+
+_DIALECTS = {
+    "verisign": {
+        "creation": "Creation Date",
+        "expiry": "Registry Expiry Date",
+        "updated": "Updated Date",
+        "registrar": "Registrar",
+        "date_format": "%Y-%m-%dT00:00:00Z",
+    },
+    "legacy": {
+        "creation": "Created On",
+        "expiry": "Expiration Date",
+        "updated": "Last Updated On",
+        "registrar": "Sponsoring Registrar",
+        "date_format": "%d-%b-%Y",
+    },
+    "terse": {
+        "creation": "created on",
+        "expiry": "expires on",
+        "updated": "last modified",
+        "registrar": "registrar",
+        "date_format": "%Y/%m/%d",
+    },
+}
+
+
+def render_whois_text(
+    record: ThinWhoisRecord,
+    dialect: str = "verisign",
+    gdpr_redacted: bool = False,
+    registrant_name: Optional[str] = None,
+) -> str:
+    """Render a thin record as registrar-dialect WHOIS text.
+
+    When ``gdpr_redacted`` is set (or no registrant name is supplied) the
+    contact block carries the standard redaction placeholder.
+    """
+    spec = _DIALECTS.get(dialect)
+    if spec is None:
+        raise ValueError(f"unknown WHOIS dialect {dialect!r}; options: {sorted(_DIALECTS)}")
+    fmt = spec["date_format"]
+    lines = [
+        f"Domain Name: {record.domain.upper()}",
+        f"{spec['registrar']}: {record.registrar}",
+        f"{spec['creation']}: {_fmt(record.creation_date, fmt)}",
+        f"{spec['expiry']}: {_fmt(record.expiration_date, fmt)}",
+        f"{spec['updated']}: {_fmt(record.updated_date, fmt)}",
+        f"Domain Status: {_status_text(record.status)}",
+    ]
+    for ns in record.nameservers:
+        lines.append(f"Name Server: {ns.upper()}")
+    if gdpr_redacted or registrant_name is None:
+        lines.append("Registrant Name: REDACTED FOR PRIVACY")
+        lines.append("Registrant Organization: REDACTED FOR PRIVACY")
+    else:
+        lines.append(f"Registrant Name: {registrant_name}")
+    lines.append(">>> Last update of whois database <<<")
+    return "\n".join(lines)
+
+
+def parse_whois_text(text: str) -> Dict[str, object]:
+    """Parse any dialect back into a field dict.
+
+    Returns keys ``domain``, ``registrar``, ``creation_date``,
+    ``expiration_date``, ``updated_date`` (Day ordinals or None),
+    ``nameservers`` (list), and ``redacted`` (bool). Unparseable dates are
+    left as None rather than raising — mirroring how bulk-WHOIS pipelines
+    must tolerate junk.
+    """
+    fields: Dict[str, object] = {
+        "domain": None,
+        "registrar": None,
+        "creation_date": None,
+        "expiration_date": None,
+        "updated_date": None,
+        "nameservers": [],
+        "redacted": False,
+    }
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "domain name":
+            fields["domain"] = value.lower()
+        elif key in _REGISTRAR_KEYS:
+            fields["registrar"] = value
+        elif key in _CREATION_KEYS:
+            fields["creation_date"] = _parse_any_date(value)
+        elif key in _EXPIRY_KEYS:
+            fields["expiration_date"] = _parse_any_date(value)
+        elif key in _UPDATED_KEYS:
+            fields["updated_date"] = _parse_any_date(value)
+        elif key == "name server":
+            fields["nameservers"].append(value.lower())
+        elif key.startswith("registrant") and "redacted" in value.lower():
+            fields["redacted"] = True
+    return fields
+
+
+_DATE_PATTERNS = (
+    "%Y-%m-%dT%H:%M:%SZ",
+    "%Y-%m-%d",
+    "%d-%b-%Y",
+    "%Y/%m/%d",
+    "%d.%m.%Y",
+)
+
+
+def _parse_any_date(value: str) -> Optional[Day]:
+    cleaned = re.sub(r"\s+UTC$", "", value.strip())
+    for pattern in _DATE_PATTERNS:
+        try:
+            return _dt.datetime.strptime(cleaned, pattern).date().toordinal()
+        except ValueError:
+            continue
+    return None
+
+
+def _fmt(d: Day, pattern: str) -> str:
+    return day_to_date(d).strftime(pattern)
+
+
+def _status_text(state: DomainState) -> str:
+    mapping = {
+        DomainState.ACTIVE: "clientTransferProhibited",
+        DomainState.AUTO_RENEW_GRACE: "autoRenewPeriod",
+        DomainState.REDEMPTION: "redemptionPeriod",
+        DomainState.PENDING_DELETE: "pendingDelete",
+        DomainState.RELEASED: "available",
+    }
+    return mapping[state]

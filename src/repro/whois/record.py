@@ -1,0 +1,94 @@
+"""Thin WHOIS records.
+
+A "thin" record contains only the registry-controlled fields (domain,
+registrar, nameservers, creation / expiration / updated dates, status). The
+paper restricts itself to these fields because they are reliable for
+Verisign-operated .com/.net, unlike registrar-supplied registrant contact
+data which is inconsistently formatted and GDPR-redacted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.psl.registered import DomainName
+from repro.util.dates import Day, day_to_iso, parse_day
+from repro.whois.lifecycle import DomainState
+
+
+@dataclass(frozen=True)
+class ThinWhoisRecord:
+    """Registry-controlled WHOIS fields for one domain at one point in time."""
+
+    domain: str
+    registrar: str
+    creation_date: Day
+    expiration_date: Day
+    updated_date: Day
+    status: DomainState = DomainState.ACTIVE
+    nameservers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "domain", DomainName(self.domain).name)
+        if self.expiration_date < self.creation_date:
+            raise ValueError(
+                f"{self.domain}: expiration {self.expiration_date} precedes "
+                f"creation {self.creation_date}"
+            )
+
+    def creation_pair(self) -> Tuple[str, Day]:
+        """The (domain, registry creation date) pair the paper records."""
+        return (self.domain, self.creation_date)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "registrar": self.registrar,
+            "creation_date": day_to_iso(self.creation_date),
+            "expiration_date": day_to_iso(self.expiration_date),
+            "updated_date": day_to_iso(self.updated_date),
+            "status": self.status.value,
+            "nameservers": list(self.nameservers),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "ThinWhoisRecord":
+        return cls(
+            domain=record["domain"],
+            registrar=record["registrar"],
+            creation_date=parse_day(record["creation_date"]),
+            expiration_date=parse_day(record["expiration_date"]),
+            updated_date=parse_day(record["updated_date"]),
+            status=DomainState(record["status"]),
+            nameservers=tuple(record.get("nameservers", ())),
+        )
+
+
+@dataclass
+class WhoisSnapshot:
+    """A dated bulk-WHOIS collection (one crawl of the registry).
+
+    The paper's partner dataset is a time series of such crawls; the
+    registrant-change detector only needs the union of (domain, creation
+    date) pairs across crawls.
+    """
+
+    day: Day
+    records: List[ThinWhoisRecord] = field(default_factory=list)
+
+    def add(self, record: ThinWhoisRecord) -> None:
+        self.records.append(record)
+
+    def creation_pairs(self) -> List[Tuple[str, Day]]:
+        return [record.creation_pair() for record in self.records]
+
+    def find(self, domain: str) -> Optional[ThinWhoisRecord]:
+        normalized = DomainName(domain).name
+        for record in self.records:
+            if record.domain == normalized:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,248 @@
+"""Registry database: registrations, renewals, transfers, re-registration.
+
+Plays the role of Verisign for the simulated TLDs. The registry is the
+ground-truth owner of creation/expiration dates; it emits
+:class:`~repro.whois.lifecycle.LifecycleEvent` records that the ecosystem
+simulator and the recall-ablation benches consume, and serves thin WHOIS
+records for any (domain, day) query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.psl.registered import DomainName
+from repro.util.dates import Day
+from repro.whois.lifecycle import (
+    DomainState,
+    LifecycleEvent,
+    LifecycleEventType,
+    release_day,
+    state_on,
+)
+from repro.whois.record import ThinWhoisRecord
+
+
+@dataclass
+class Registration:
+    """One continuous registration span of a domain (creation → deletion)."""
+
+    domain: str
+    registrant_id: str
+    registrar: str
+    creation_date: Day
+    expiration_date: Day
+    updated_date: Day
+    deleted_on: Optional[Day] = None
+    registrant_history: List[Tuple[Day, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.registrant_history:
+            self.registrant_history.append((self.creation_date, self.registrant_id))
+
+    def state_on(self, query_day: Day) -> DomainState:
+        deleted = self.deleted_on is not None and query_day >= self.deleted_on
+        return state_on(self.expiration_date, query_day, deleted=deleted)
+
+    def registrant_on(self, query_day: Day) -> Optional[str]:
+        """Ground-truth owner on a day (None before creation / after delete)."""
+        if query_day < self.creation_date:
+            return None
+        if self.deleted_on is not None and query_day >= self.deleted_on:
+            return None
+        owner = None
+        for change_day, registrant in self.registrant_history:
+            if change_day <= query_day:
+                owner = registrant
+            else:
+                break
+        return owner
+
+
+class Registry:
+    """Registry database for all simulated TLDs it operates."""
+
+    def __init__(self, operated_tlds: Tuple[str, ...] = ("com", "net")) -> None:
+        self.operated_tlds = tuple(t.lower() for t in operated_tlds)
+        self._registrations: Dict[str, List[Registration]] = {}
+        self._events: List[LifecycleEvent] = []
+
+    # -- mutations -----------------------------------------------------------
+
+    def register(
+        self,
+        domain: str,
+        registrant_id: str,
+        registrar: str,
+        creation_day: Day,
+        term_days: int = 365,
+    ) -> Registration:
+        """Create a brand-new or re-registered registration."""
+        name = DomainName(domain).name
+        spans = self._registrations.setdefault(name, [])
+        current = spans[-1] if spans else None
+        if current is not None and current.deleted_on is None:
+            raise ValueError(f"{name} is already registered")
+        if current is not None and creation_day < current.deleted_on:
+            raise ValueError(
+                f"{name} cannot be re-registered on {creation_day}; "
+                f"not deleted until {current.deleted_on}"
+            )
+        registration = Registration(
+            domain=name,
+            registrant_id=registrant_id,
+            registrar=registrar,
+            creation_date=creation_day,
+            expiration_date=creation_day + term_days,
+            updated_date=creation_day,
+        )
+        spans.append(registration)
+        event_type = (
+            LifecycleEventType.RE_REGISTERED if current is not None else LifecycleEventType.REGISTERED
+        )
+        self._emit(
+            LifecycleEvent(
+                domain=name,
+                event_type=event_type,
+                day=creation_day,
+                registrant_id=registrant_id,
+                previous_registrant_id=current.registrant_id if current else None,
+            )
+        )
+        return registration
+
+    def renew(self, domain: str, renew_day: Day, term_days: int = 365) -> Registration:
+        """Extend the current registration (allowed through redemption)."""
+        registration = self._require_current(domain)
+        state = registration.state_on(renew_day)
+        if state in (DomainState.PENDING_DELETE, DomainState.RELEASED):
+            raise ValueError(f"{domain} cannot be renewed in state {state.value}")
+        restored = state in (DomainState.AUTO_RENEW_GRACE, DomainState.REDEMPTION)
+        # Renewal (and grace/redemption restore) extends from the original
+        # expiration date, per registry policy — the registrant does not gain
+        # free days by renewing late.
+        registration.expiration_date = registration.expiration_date + term_days
+        registration.updated_date = renew_day
+        self._emit(
+            LifecycleEvent(
+                domain=registration.domain,
+                event_type=LifecycleEventType.RESTORED if restored else LifecycleEventType.RENEWED,
+                day=renew_day,
+                registrant_id=registration.registrant_id,
+            )
+        )
+        return registration
+
+    def transfer(self, domain: str, new_registrant_id: str, transfer_day: Day,
+                 new_registrar: Optional[str] = None) -> Registration:
+        """Change ownership without resetting the creation date.
+
+        This is the stealth registrant change the paper's WHOIS method cannot
+        see (Section 4.4, "Domain registrant tracking").
+        """
+        registration = self._require_current(domain)
+        if registration.state_on(transfer_day) is DomainState.RELEASED:
+            raise ValueError(f"{domain} is released; re-register instead")
+        previous = registration.registrant_id
+        registration.registrant_id = new_registrant_id
+        registration.registrant_history.append((transfer_day, new_registrant_id))
+        registration.updated_date = transfer_day
+        if new_registrar:
+            registration.registrar = new_registrar
+        self._emit(
+            LifecycleEvent(
+                domain=registration.domain,
+                event_type=LifecycleEventType.TRANSFERRED,
+                day=transfer_day,
+                registrant_id=new_registrant_id,
+                previous_registrant_id=previous,
+            )
+        )
+        return registration
+
+    def delete(self, domain: str, delete_day: Day) -> Registration:
+        """Registry release after pending-delete (or registrant-requested)."""
+        registration = self._require_current(domain)
+        registration.deleted_on = delete_day
+        registration.updated_date = delete_day
+        self._emit(
+            LifecycleEvent(
+                domain=registration.domain,
+                event_type=LifecycleEventType.DELETED,
+                day=delete_day,
+                previous_registrant_id=registration.registrant_id,
+            )
+        )
+        return registration
+
+    def expire_and_release(self, domain: str) -> Day:
+        """Run the un-renewed domain through the full post-expiration
+        timeline; returns the day the name became publicly available."""
+        registration = self._require_current(domain)
+        released = release_day(registration.expiration_date)
+        self.delete(domain, released)
+        return released
+
+    # -- queries ---------------------------------------------------------------
+
+    def current(self, domain: str) -> Optional[Registration]:
+        spans = self._registrations.get(DomainName(domain).name, [])
+        if spans and spans[-1].deleted_on is None:
+            return spans[-1]
+        return None
+
+    def spans(self, domain: str) -> List[Registration]:
+        """All historical registration spans of the name, oldest first."""
+        return list(self._registrations.get(DomainName(domain).name, []))
+
+    def all_domains(self) -> Iterator[str]:
+        return iter(sorted(self._registrations))
+
+    def registrant_on(self, domain: str, query_day: Day) -> Optional[str]:
+        """Ground-truth owner of the name on a day across all spans."""
+        for span in self._registrations.get(DomainName(domain).name, []):
+            owner = span.registrant_on(query_day)
+            if owner is not None:
+                return owner
+        return None
+
+    def whois(self, domain: str, query_day: Day) -> Optional[ThinWhoisRecord]:
+        """Thin WHOIS answer as it would appear on *query_day*."""
+        name = DomainName(domain).name
+        answer: Optional[ThinWhoisRecord] = None
+        for span in self._registrations.get(name, []):
+            if span.creation_date > query_day:
+                break
+            if span.deleted_on is not None and query_day >= span.deleted_on:
+                continue
+            answer = ThinWhoisRecord(
+                domain=name,
+                registrar=span.registrar,
+                creation_date=span.creation_date,
+                expiration_date=span.expiration_date,
+                updated_date=min(span.updated_date, query_day),
+                status=span.state_on(query_day),
+            )
+        return answer
+
+    def events(self) -> List[LifecycleEvent]:
+        return list(self._events)
+
+    def creation_pairs(self) -> List[Tuple[str, Day]]:
+        """Every (domain, creation date) pair across all spans — the exact
+        dataset shape the paper extracts from bulk WHOIS."""
+        pairs: List[Tuple[str, Day]] = []
+        for spans in self._registrations.values():
+            for span in spans:
+                pairs.append((span.domain, span.creation_date))
+        return pairs
+
+    def _require_current(self, domain: str) -> Registration:
+        registration = self.current(domain)
+        if registration is None:
+            raise KeyError(f"{domain} has no active registration")
+        return registration
+
+    def _emit(self, event: LifecycleEvent) -> None:
+        self._events.append(event)

@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+The session-scoped ``small_world`` runs the full 2013–2023 simulation at a
+small scale once; every integration-level test reuses it. Unit tests build
+their own tiny objects via the helpers below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MeasurementPipeline, WorldConfig, simulate_world
+from repro.pki.certificate import Certificate
+from repro.pki.keys import KeyAlgorithm, KeyPair, KeyStore
+from repro.util.dates import day
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A deterministic, small-scale full-decade world."""
+    return simulate_world(WorldConfig(seed=4242).scaled(0.08))
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_world):
+    pipeline = MeasurementPipeline(
+        small_world.to_bundle(),
+        revocation_cutoff_day=small_world.config.timeline.revocation_cutoff,
+    )
+    return pipeline.run()
+
+
+@pytest.fixture()
+def key_store():
+    return KeyStore()
+
+
+_SERIAL = iter(range(10_000, 10_000_000))
+
+
+def make_key(owner: str = "tester", on_day: int = day(2020, 1, 1)) -> KeyPair:
+    return KeyStore().generate(owner, on_day)
+
+
+def make_cert(
+    sans=("example.com", "www.example.com"),
+    not_before=day(2021, 1, 1),
+    not_after=None,
+    lifetime=365,
+    issuer="Test CA",
+    authority_key_id="akid-test",
+    serial=None,
+    key=None,
+    **kwargs,
+) -> Certificate:
+    """Terse certificate factory for unit tests."""
+    if not_after is None:
+        not_after = not_before + lifetime
+    return Certificate(
+        subject_cn=sans[0] if sans else "",
+        san_dns_names=tuple(sans),
+        subject_key=key or make_key(),
+        issuer_name=issuer,
+        authority_key_id=authority_key_id,
+        serial=serial if serial is not None else next(_SERIAL),
+        not_before=not_before,
+        not_after=not_after,
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def cert_factory():
+    return make_cert

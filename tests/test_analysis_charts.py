@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import line_plot, log_bar_chart, stacked_monthly_chart
+
+
+class TestLogBarChart:
+    def test_log_scaling_keeps_baseline_visible(self):
+        text = log_bar_chart([("low", 10), ("spike", 10000)], width=40)
+        lines = text.splitlines()
+        low_bar = lines[0].count("#")
+        spike_bar = lines[1].count("#")
+        assert spike_bar == 40
+        # On a linear scale low would be 0.04 chars; log keeps it >= 25%.
+        assert low_bar >= 10
+
+    def test_zero_values_safe(self):
+        text = log_bar_chart([("none", 0), ("some", 5)])
+        assert "none" in text and "0" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in log_bar_chart([], title="t")
+
+    def test_values_annotated(self):
+        assert "1,234" in log_bar_chart([("a", 1234)])
+
+
+class TestStackedMonthlyChart:
+    def test_legend_and_totals(self):
+        text = stacked_monthly_chart(
+            ["2021-11", "2021-12"],
+            {"2021-11": {"GoDaddy": 90, "Other": 10}, "2021-12": {"GoDaddy": 40}},
+        )
+        assert "= GoDaddy" in text
+        assert "= Other" in text
+        assert "100" in text
+
+    def test_dominant_key_dominates_bar(self):
+        text = stacked_monthly_chart(
+            ["m"], {"m": {"big": 99, "small": 1}}, symbols={"big": "B", "small": "s"}
+        )
+        bar_line = [line for line in text.splitlines() if line.startswith("m ")][0]
+        assert bar_line.count("B") > 10 * bar_line.count("s")
+
+    def test_empty_month_renders_zero(self):
+        text = stacked_monthly_chart(["m1", "m2"], {"m1": {"k": 5}})
+        m2_line = [line for line in text.splitlines() if line.startswith("m2")][0]
+        assert "| 0" in m2_line.replace("  ", " ")
+
+
+class TestLinePlot:
+    def test_monotone_curve_renders_diagonal(self):
+        curve = [(float(i), i / 9) for i in range(10)]
+        text = line_plot(curve, height=5, width=20)
+        rows = [line for line in text.splitlines() if "|" in line and "+" not in line]
+        first_star_cols = [row.index("*") for row in rows if "*" in row]
+        # Higher rows (larger y) start further right for an increasing curve.
+        assert first_star_cols == sorted(first_star_cols, reverse=True)
+
+    def test_axis_labels(self):
+        text = line_plot([(0, 0), (100, 1)], title="CDF")
+        assert text.startswith("CDF")
+        assert "100" in text.splitlines()[-1]
+
+    def test_flat_curve_safe(self):
+        text = line_plot([(0, 0.5), (10, 0.5)])
+        assert "*" in text
+
+    def test_empty(self):
+        assert "(empty)" in line_plot([], title="x")

@@ -1,0 +1,130 @@
+"""Tests for the figure builders over the shared small world."""
+
+import pytest
+
+from repro.analysis.figures import (
+    build_fig4,
+    build_fig5a,
+    build_fig5b,
+    build_fig6,
+    build_fig7,
+    build_fig8,
+    build_fig9,
+)
+from repro.core.stale import StalenessClass
+from repro.util.dates import day, month_key
+
+
+class TestFig4:
+    def test_godaddy_spike_months_dominate(self, pipeline_result):
+        series = build_fig4(pipeline_result.findings)
+        spike = sum(series.get(m, {}).get("GoDaddy Secure CA - G2", 0)
+                    for m in ("2021-11", "2021-12"))
+        assert spike > 0
+        # Spike months hold the bulk of GoDaddy's key-compromise reporting.
+        total_godaddy = sum(
+            counts.get("GoDaddy Secure CA - G2", 0) for counts in series.values()
+        )
+        assert spike >= 0.6 * total_godaddy
+
+    def test_lets_encrypt_only_after_july_2022(self, pipeline_result):
+        series = build_fig4(pipeline_result.findings)
+        for month, counts in series.items():
+            for issuer, count in counts.items():
+                if issuer.startswith("Let's Encrypt") and count:
+                    assert month >= "2022-07"
+
+
+class TestFig5:
+    def test_fig5a_growth_post_2018(self, pipeline_result):
+        points = build_fig5a(pipeline_result.findings)
+        assert points
+        early = sum(c for m, c, _ in points if m < "2017-01")
+        late = sum(c for m, c, _ in points if "2018-01" <= m <= "2021-07")
+        assert late > early  # staleness grows with the LE/CDN era
+
+    def test_fig5a_e2lds_never_exceed_certs_overall(self, pipeline_result):
+        points = build_fig5a(pipeline_result.findings)
+        total_certs = sum(c for _, c, _ in points)
+        total_e2lds = sum(e for _, _, e in points)
+        assert total_e2lds <= total_certs
+
+    def test_fig5b_window_and_issuer_fold(self, pipeline_result):
+        series = build_fig5b(pipeline_result.findings, top_issuers=2)
+        assert series
+        for month, by_issuer in series.items():
+            assert "2018-01" <= month <= "2019-12"
+            assert len(by_issuer) <= 3  # 2 named + Other
+
+    def test_fig5b_cruiseliner_issuer_present(self, pipeline_result):
+        series = build_fig5b(pipeline_result.findings)
+        issuers = {i for counts in series.values() for i in counts}
+        assert any("COMODO" in issuer for issuer in issuers)
+
+
+class TestFig6:
+    def test_median_ordering_matches_paper(self, pipeline_result):
+        """Figure 6: key compromise (~398d) > managed TLS (~300d) >
+        registrant change (~90d)."""
+        series = {s.staleness_class: s for s in build_fig6(pipeline_result.findings)}
+        kc = series[StalenessClass.KEY_COMPROMISE].median_days
+        mtls = series[StalenessClass.MANAGED_TLS_DEPARTURE].median_days
+        reg = series[StalenessClass.REGISTRANT_CHANGE].median_days
+        assert kc > mtls > reg
+
+    def test_curves_are_cdfs(self, pipeline_result):
+        for s in build_fig6(pipeline_result.findings):
+            ys = [y for _, y in s.curve]
+            assert ys == sorted(ys)
+            assert ys[-1] == pytest.approx(1.0)
+
+    def test_key_compromise_staleness_mostly_over_90(self, pipeline_result):
+        series = {s.staleness_class: s for s in build_fig6(pipeline_result.findings)}
+        assert series[StalenessClass.KEY_COMPROMISE].proportion_over_90 > 0.5
+
+
+class TestFig7:
+    def test_yearly_cohorts_2016_2021(self, pipeline_result):
+        cohorts = build_fig7(pipeline_result.findings)
+        assert set(cohorts) <= set(range(2016, 2022))
+        assert len(cohorts) >= 4
+        for series in cohorts.values():
+            assert series.median_days >= 0
+
+
+class TestFig8:
+    def test_key_compromise_invalidates_fast(self, pipeline_result):
+        """Figure 8: ~1% of key compromise occurs after 90 days; over half
+        of registrant change does."""
+        series = {s.staleness_class: s for s in build_fig8(pipeline_result.findings)}
+        assert series[StalenessClass.KEY_COMPROMISE].survival_at_90 < 0.2
+        assert series[StalenessClass.REGISTRANT_CHANGE].survival_at_90 > 0.4
+
+    def test_survival_monotone(self, pipeline_result):
+        for s in build_fig8(pipeline_result.findings):
+            values = [v for _, v in s.steps]
+            assert values == sorted(values, reverse=True)
+            assert s.survival_at_90 >= s.survival_at_215
+
+
+class TestFig9:
+    def test_reductions_decrease_with_cap(self, pipeline_result):
+        matrix = build_fig9(pipeline_result.findings)
+        for _cls, results in matrix.items():
+            reductions = [r.staleness_days_reduction for r in results]
+            assert reductions == sorted(reductions, reverse=True)
+
+    def test_90_day_cap_band(self, pipeline_result):
+        """Paper: 75-87% staleness-days reduction at the 90-day cap."""
+        matrix = build_fig9(pipeline_result.findings)
+        for _cls, results in matrix.items():
+            at_90 = next(r for r in results if r.cap_days == 90)
+            assert at_90.staleness_days_reduction > 0.5
+
+    def test_all_three_classes_present(self, pipeline_result):
+        matrix = build_fig9(pipeline_result.findings)
+        assert set(matrix) == {
+            StalenessClass.KEY_COMPROMISE,
+            StalenessClass.REGISTRANT_CHANGE,
+            StalenessClass.MANAGED_TLS_DEPARTURE,
+        }

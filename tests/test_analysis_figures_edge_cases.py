@@ -1,0 +1,108 @@
+"""Edge-case tests for the figure builders (empty/degenerate inputs)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    build_fig4,
+    build_fig5a,
+    build_fig5b,
+    build_fig6,
+    build_fig7,
+    build_fig8,
+    build_fig9,
+)
+from repro.core.stale import StaleCertificate, StaleFindings, StalenessClass
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2019, 1, 1)
+
+
+def single_finding(cls=StalenessClass.REGISTRANT_CHANGE, offset=100, serial=210_001):
+    findings = StaleFindings()
+    findings.add(
+        StaleCertificate(
+            certificate=make_cert(serial=serial, not_before=T0, lifetime=365),
+            staleness_class=cls,
+            invalidation_day=T0 + offset,
+            affected_domain="example.com",
+        )
+    )
+    return findings
+
+
+class TestEmptyFindings:
+    def test_fig4_empty(self):
+        assert build_fig4(StaleFindings()) == {}
+
+    def test_fig5a_empty(self):
+        assert build_fig5a(StaleFindings()) == []
+
+    def test_fig5b_empty(self):
+        assert build_fig5b(StaleFindings()) == {}
+
+    def test_fig6_empty(self):
+        assert build_fig6(StaleFindings()) == []
+
+    def test_fig7_empty(self):
+        assert build_fig7(StaleFindings()) == {}
+
+    def test_fig8_empty(self):
+        assert build_fig8(StaleFindings()) == []
+
+    def test_fig9_empty(self):
+        assert build_fig9(StaleFindings()) == {}
+
+
+class TestSingleFinding:
+    def test_fig6_single_sample(self):
+        series = build_fig6(single_finding())
+        assert len(series) == 1
+        assert series[0].median_days == 265
+
+    def test_fig8_single_sample(self):
+        series = build_fig8(single_finding(offset=100))
+        assert series[0].survival_at_90 == 1.0  # invalidation at day 100 > 90
+        assert series[0].survival_at_215 == 0.0
+
+    def test_fig9_single_sample_monotone(self):
+        matrix = build_fig9(single_finding())
+        results = matrix[StalenessClass.REGISTRANT_CHANGE]
+        reductions = [r.staleness_days_reduction for r in results]
+        assert reductions == sorted(reductions, reverse=True)
+
+    def test_fig5a_single(self):
+        points = build_fig5a(single_finding())
+        assert len(points) == 1
+        month, certs, e2lds = points[0]
+        assert certs == 1 and e2lds == 1
+
+    def test_fig7_year_outside_range_excluded(self):
+        findings = single_finding(offset=100)  # 2019 event: in range
+        cohorts = build_fig7(findings, years=(2016, 2017))
+        assert cohorts == {}
+
+    def test_fig5b_window_excludes_out_of_range(self):
+        findings = single_finding(offset=100)  # 2019-04: inside default window
+        assert build_fig5b(findings)
+        assert build_fig5b(findings, first_month="2020-01", last_month="2020-12") == {}
+
+
+class TestFig5bIssuerFolding:
+    def test_other_bucket(self):
+        findings = StaleFindings()
+        for index, issuer in enumerate(["CA A", "CA B", "CA C", "CA D", "CA E"]):
+            findings.add(
+                StaleCertificate(
+                    certificate=make_cert(serial=211_000 + index, not_before=T0,
+                                          lifetime=365, issuer=issuer),
+                    staleness_class=StalenessClass.REGISTRANT_CHANGE,
+                    invalidation_day=T0 + 30,
+                    affected_domain="example.com",
+                )
+            )
+        series = build_fig5b(findings, first_month="2019-01", last_month="2019-12",
+                             top_issuers=2)
+        month_counts = next(iter(series.values()))
+        assert month_counts.get("Other", 0) == 3
+        assert sum(month_counts.values()) == 5

@@ -1,0 +1,66 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import render_cdf, render_series, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["A", "Longer"], [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        header, rule = lines[0], lines[1]
+        assert header.index("Longer") == rule.index("-", header.index("Longer"))
+
+    def test_title_prepended(self):
+        text = render_table(["A"], [("x",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_formatting(self):
+        text = render_table(["N", "F"], [(1234567, 3.14159)])
+        assert "1,234,567" in text
+        assert "3.14" in text
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text and "B" in text
+
+    def test_column_width_grows_with_content(self):
+        text = render_table(["A"], [("a-very-long-cell-value",)])
+        assert "a-very-long-cell-value" in text
+
+
+class TestRenderSeries:
+    def test_bars_proportional(self):
+        text = render_series([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series([], label="x")
+
+    def test_label_included(self):
+        assert render_series([("a", 1.0)], label="My Series").startswith("My Series")
+
+    def test_zero_peak_safe(self):
+        text = render_series([("a", 0.0)])
+        assert "#" not in text
+
+
+class TestRenderCdf:
+    def test_downsampling(self):
+        curve = [(float(i), i / 99) for i in range(100)]
+        text = render_cdf(curve, points=10)
+        lines = [line for line in text.splitlines() if "F(x)" in line]
+        assert 10 <= len(lines) <= 12
+        assert "F(x)= 1.000" in lines[-1]
+
+    def test_last_point_always_kept(self):
+        curve = [(0.0, 0.5), (7.0, 1.0)]
+        text = render_cdf(curve, points=1)
+        assert "x=      7.0" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_cdf([], label="c")

@@ -1,0 +1,30 @@
+"""Tests for the executive-summary scorecard."""
+
+import pytest
+
+from repro.analysis.summary import evaluate_claims, render_summary
+from repro.core.pipeline import PipelineResult
+from repro.core.stale import StaleFindings
+
+
+class TestOnWorld:
+    def test_all_claims_hold_on_simulated_world(self, pipeline_result):
+        checks = evaluate_claims(pipeline_result)
+        assert len(checks) >= 6
+        failing = [check.claim for check in checks if not check.holds]
+        assert failing == []
+
+    def test_render_summary_scorecard(self, pipeline_result):
+        text = render_summary(pipeline_result)
+        assert "claims hold" in text
+        assert "PASS" in text
+        assert "398d > 300d > 90d" in text
+
+
+class TestOnEmptyFindings:
+    def test_empty_results_fail_safe(self):
+        empty = PipelineResult(findings=StaleFindings())
+        checks = evaluate_claims(empty)
+        assert all(not check.holds for check in checks)
+        text = render_summary(empty)
+        assert "0/" in text

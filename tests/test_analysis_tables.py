@@ -1,0 +1,124 @@
+"""Tests for the table builders over the shared small world."""
+
+import pytest
+
+from repro.analysis.aggregate import build_table3, build_table4
+from repro.analysis.crl_coverage import build_table7
+from repro.analysis.popularity_analysis import build_table6
+from repro.analysis.report import render_table
+from repro.analysis.reputation_analysis import build_table5
+from repro.core.stale import StalenessClass
+from repro.popularity import PopularityProvider
+from repro.reputation import build_store_from_ownership
+from repro.util.rng import RngStream
+
+
+class TestTable3:
+    def test_four_dataset_rows(self, small_world):
+        rows = build_table3(small_world)
+        assert [r.dataset for r in rows] == ["CT", "CRL", "WHOIS", "aDNS"]
+        assert "2013-03-01" in rows[0].date_range
+        assert "certs (deduplicated)" in rows[0].size
+
+
+class TestTable4:
+    def test_rows_in_paper_order(self, pipeline_result):
+        rows = build_table4(pipeline_result)
+        methods = [r.method for r in rows]
+        assert methods[0] == "Revoked: all"
+        assert "Revoked: key compromise" in methods
+        assert "Domain registrant change" in methods
+        assert "Cloudflare managed TLS departure" in methods
+
+    def test_daily_rates_consistent_with_totals(self, pipeline_result):
+        for row in build_table4(pipeline_result):
+            assert row.daily_certs <= row.total_certs
+            assert row.total_fqdns >= row.total_e2lds
+
+    def test_paper_ordering_of_daily_e2ld_rates(self, pipeline_result):
+        """Table 4's qualitative claim: managed TLS > registrant change >
+        key compromise in daily e2LD rates."""
+        by_method = {r.method: r for r in build_table4(pipeline_result)}
+        managed = by_method["Cloudflare managed TLS departure"].daily_e2lds
+        registrant = by_method["Domain registrant change"].daily_e2lds
+        kc = by_method["Revoked: key compromise"].daily_e2lds
+        assert managed > registrant > kc
+
+    def test_revoked_all_dwarfs_key_compromise(self, pipeline_result):
+        by_method = {r.method: r for r in build_table4(pipeline_result)}
+        assert (
+            by_method["Revoked: all"].total_certs
+            > 5 * by_method["Revoked: key compromise"].total_certs
+        )
+
+
+class TestTable5:
+    def test_reputation_analysis(self, small_world, pipeline_result):
+        store = build_store_from_ownership(
+            small_world.malicious_ownership, RngStream(11, "vt-test")
+        )
+        analysis = build_table5(pipeline_result.findings, store, sample_size=100_000)
+        assert analysis.sampled_domains > 0
+        assert 0 <= analysis.detected_domains <= analysis.sampled_domains
+        # Paper finds ~1% of sampled domains malicious; ours should be small.
+        assert analysis.detected_fraction < 0.2
+        assert (
+            analysis.mw_only + analysis.mw_and_url + analysis.url_only
+            == analysis.detected_domains
+        )
+
+    def test_sampling_bound(self, small_world, pipeline_result):
+        store = build_store_from_ownership(
+            small_world.malicious_ownership, RngStream(11, "vt-test")
+        )
+        analysis = build_table5(pipeline_result.findings, store, sample_size=5)
+        assert analysis.sampled_domains == 5
+
+
+class TestTable6:
+    def _provider(self, small_world):
+        alive = {}
+        for name in small_world.registry.all_domains():
+            spans = small_world.registry.spans(name)
+            alive[name] = (
+                spans[0].creation_date,
+                spans[-1].deleted_on or small_world.config.timeline.simulation_end,
+            )
+        return PopularityProvider(small_world.popularity_ranks, alive)
+
+    def test_columns_and_cumulative_buckets(self, small_world, pipeline_result):
+        columns = build_table6(pipeline_result.findings, self._provider(small_world))
+        assert len(columns) == 3
+        for column in columns:
+            counts = [column.bucket_counts[b] for b in (1_000, 10_000, 100_000, 1_000_000)]
+            assert counts == sorted(counts)  # cumulative
+            assert column.bucket_counts[1_000_000] <= column.total_domains
+
+    def test_long_tail_dominates(self, small_world, pipeline_result):
+        """The paper's takeaway: the overwhelming majority of stale-cert
+        domains are NOT in the top lists."""
+        columns = build_table6(pipeline_result.findings, self._provider(small_world))
+        for column in columns:
+            if column.total_domains >= 20:
+                assert column.percent_in_top_1m() < 50.0
+
+
+class TestTable7:
+    def test_coverage_rows(self, small_world):
+        rows = build_table7(small_world.crl_fetcher)
+        assert rows[-1].ca_operator == "Total Coverage"
+        # Blocked CAs first (coverage ascending).
+        assert rows[0].coverage == 0.0
+        operators = {row.ca_operator for row in rows}
+        assert {"Microsoft", "Visa"} <= operators
+
+    def test_total_coverage_near_paper(self, small_world):
+        total = build_table7(small_world.crl_fetcher)[-1]
+        assert 0.90 <= total.coverage <= 1.0  # paper: 98.40%
+
+    def test_render_table_smoke(self, small_world):
+        rows = build_table7(small_world.crl_fetcher)
+        text = render_table(
+            ["CA", "Coverage"], [(r.ca_operator, r.coverage_text) for r in rows]
+        )
+        assert "Total Coverage" in text

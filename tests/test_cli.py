@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (in-process, tiny worlds)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--scale", "0.02", "--seed", "7"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scale == 0.1
+        assert args.seed == 20231024
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--experiment", "fig99"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(ARGS + ["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "ct_unique_certificates" in out
+
+    def test_detect_prints_table4(self, capsys):
+        assert main(ARGS + ["detect"]) == 0
+        out = capsys.readouterr().out
+        assert "Revoked: all" in out
+        assert "Cloudflare managed TLS departure" in out
+
+    def test_lifetime(self, capsys):
+        assert main(ARGS + ["lifetime", "--caps", "90,215"]) == 0
+        out = capsys.readouterr().out
+        assert "OVERALL" in out
+        assert "90" in out and "215" in out
+
+    def test_lifetime_rejects_bad_caps(self, capsys):
+        assert main(ARGS + ["lifetime", "--caps", "-5"]) == 2
+
+    def test_report_summary_scorecard(self, capsys):
+        assert main(ARGS + ["report", "--experiment", "summary"]) == 0
+        assert "claims hold" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("experiment", ["table3", "table4", "table7", "fig6", "fig8"])
+    def test_report_experiments(self, capsys, experiment):
+        assert main(ARGS + ["report", "--experiment", experiment]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_report_taxonomy_tables_need_no_simulation(self, capsys):
+        assert main(["report", "--experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Certificate Information Taxonomy" in out
+        assert main(["report", "--experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "managed_tls_departure" in out
+        assert "third_party" in out
+
+    def test_save_then_detect_from_bundle(self, tmp_path, capsys):
+        bundle_dir = str(tmp_path / "bundle")
+        assert main(ARGS + ["save", "--dir", bundle_dir]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["detect", "--bundle", bundle_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Revoked: all" in out
+
+    def test_detect_save_findings(self, tmp_path, capsys):
+        path = str(tmp_path / "findings.jsonl.gz")
+        assert main(ARGS + ["detect", "--save-findings", path]) == 0
+        from repro.core.stale import StaleCertificate
+        from repro.util.storage import load_jsonl
+
+        findings = [StaleCertificate.from_record(r) for r in load_jsonl(path)]
+        assert findings
+
+    def test_advise_clean_domain(self, capsys):
+        code = main(ARGS + ["advise", "never-registered.com", "--acquired", "2022-01-01"])
+        assert code == 0
+        assert "safe to deploy" in capsys.readouterr().out
+
+    def test_advise_invalid_date(self, capsys):
+        assert main(ARGS + ["advise", "x.com", "--acquired", "soon"]) == 2
+
+    def test_advise_exposed_domain_exit_code(self, small_world, capsys):
+        # Find a domain with a genuine pre-acquisition exposure, then drive
+        # the CLI path against a same-seed world.
+        from repro.core.advisory import StaleCertificateAdvisor
+
+        advisor = StaleCertificateAdvisor(small_world.corpus)
+        target = None
+        for certificate in small_world.corpus.certificates():
+            fqdn = next(iter(certificate.fqdns()))
+            if certificate.lifetime_days > 300:
+                target = (fqdn, certificate.not_before + 30)
+                break
+        assert target is not None
+        report = advisor.check_acquisition(target[0], target[1])
+        assert not report.is_clean

@@ -1,0 +1,94 @@
+"""Tests for the first-party key-rotation detector (§3.4 extension)."""
+
+import pytest
+
+from repro.core.detectors.first_party import KeyRotationDetector
+from repro.core.stale import StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.pki.keys import KeyStore
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2021, 1, 1)
+
+
+def corpus_with(*certs):
+    corpus = CertificateCorpus()
+    corpus.ingest(certs)
+    return corpus
+
+
+class TestFindRotations:
+    def test_overlapping_reissue_with_new_key(self):
+        store = KeyStore()
+        old = make_cert(serial=150_001, key=store.generate("o", T0),
+                        not_before=T0, lifetime=90)
+        new = make_cert(serial=150_002, key=store.generate("o", T0 + 60),
+                        not_before=T0 + 60, lifetime=90)
+        rotations = KeyRotationDetector(corpus_with(old, new)).find_rotations()
+        assert len(rotations) == 1
+        assert rotations[0].superseded.serial == 150_001
+        assert rotations[0].overlap_days == 30
+
+    def test_gap_renewal_is_not_rotation(self):
+        store = KeyStore()
+        old = make_cert(serial=150_003, key=store.generate("o", T0),
+                        not_before=T0, lifetime=90)
+        new = make_cert(serial=150_004, key=store.generate("o", T0),
+                        not_before=T0 + 120, lifetime=90)
+        assert KeyRotationDetector(corpus_with(old, new)).find_rotations() == []
+
+    def test_key_reuse_is_not_rotation(self):
+        store = KeyStore()
+        key = store.generate("o", T0)
+        old = make_cert(serial=150_005, key=key, not_before=T0, lifetime=90)
+        new = make_cert(serial=150_006, key=key, not_before=T0 + 60, lifetime=90)
+        assert KeyRotationDetector(corpus_with(old, new)).find_rotations() == []
+
+    def test_different_names_not_grouped(self):
+        a = make_cert(sans=("a.com",), serial=150_007, not_before=T0, lifetime=90)
+        b = make_cert(sans=("b.com",), serial=150_008, not_before=T0 + 10, lifetime=90)
+        assert KeyRotationDetector(corpus_with(a, b)).find_rotations() == []
+
+    def test_different_issuers_not_grouped(self):
+        a = make_cert(serial=150_009, issuer="CA One", not_before=T0, lifetime=90)
+        b = make_cert(serial=150_010, issuer="CA Two", not_before=T0 + 10, lifetime=90)
+        assert KeyRotationDetector(corpus_with(a, b)).find_rotations() == []
+
+    def test_chain_of_renewals_yields_consecutive_rotations(self):
+        store = KeyStore()
+        certs = [
+            make_cert(serial=150_020 + i, key=store.generate("o", T0 + 60 * i),
+                      not_before=T0 + 60 * i, lifetime=90)
+            for i in range(4)
+        ]
+        rotations = KeyRotationDetector(corpus_with(*certs)).find_rotations()
+        assert len(rotations) == 3
+
+
+class TestDetect:
+    def test_findings_are_first_party_class(self):
+        store = KeyStore()
+        old = make_cert(serial=150_030, key=store.generate("o", T0),
+                        not_before=T0, lifetime=90)
+        new = make_cert(serial=150_031, key=store.generate("o", T0 + 60),
+                        not_before=T0 + 60, lifetime=90)
+        findings = KeyRotationDetector(corpus_with(old, new)).detect()
+        items = findings.of_class(StalenessClass.FIRST_PARTY_KEY_ROTATION)
+        assert len(items) == 1
+        assert items[0].staleness_days == 30
+        assert items[0].invalidation_day == T0 + 60
+
+    def test_first_party_dwarfs_third_party_on_world(self, small_world, pipeline_result):
+        """§3.4's claim: most invalidation events are first-party."""
+        rotations = KeyRotationDetector(small_world.corpus).detect()
+        first_party = len(rotations.of_class(StalenessClass.FIRST_PARTY_KEY_ROTATION))
+        third_party = sum(
+            len(pipeline_result.findings.of_class(cls))
+            for cls in (
+                StalenessClass.KEY_COMPROMISE,
+                StalenessClass.REGISTRANT_CHANGE,
+                StalenessClass.MANAGED_TLS_DEPARTURE,
+            )
+        )
+        assert first_party > third_party

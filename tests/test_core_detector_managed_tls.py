@@ -1,0 +1,172 @@
+"""Tests for the managed-TLS departure (DNS diff x CT) pipeline (§4.3)."""
+
+import pytest
+
+from repro.core.detectors.managed_tls import (
+    ManagedTlsDetector,
+    find_departures,
+    is_cloudflare_delegation,
+    is_cloudflare_managed_certificate,
+)
+from repro.core.stale import StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.dns.records import RecordType
+from repro.dns.snapshots import DailySnapshot, SnapshotStore
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+D1 = day(2022, 8, 1)
+D2 = day(2022, 8, 2)
+
+CF_NS = ("ada.ns.cloudflare.com", "bob.ns.cloudflare.com")
+
+
+def store_with(days):
+    store = SnapshotStore()
+    for scan_day, observations in days.items():
+        snapshot = DailySnapshot(scan_day)
+        for apex, ns in observations.items():
+            snapshot.observe(apex, RecordType.NS, ns)
+        store.put(snapshot)
+    return store
+
+
+def managed_cert(domain="cust.com", serial=201, not_before=day(2022, 5, 1), lifetime=365):
+    return make_cert(
+        sans=(f"sni{serial}.cloudflaressl.com", domain, f"*.{domain}"),
+        serial=serial,
+        not_before=not_before,
+        lifetime=lifetime,
+        issuer="CloudFlare ECC CA-2",
+    )
+
+
+class TestClassifiers:
+    def test_managed_certificate_detection(self):
+        assert is_cloudflare_managed_certificate(managed_cert())
+
+    def test_customer_uploaded_cert_not_managed(self):
+        # A customer-uploaded certificate lacks the sni* marker SAN.
+        cert = make_cert(sans=("cust.com",), serial=202)
+        assert not is_cloudflare_managed_certificate(cert)
+
+    def test_lookalike_san_not_managed(self):
+        cert = make_cert(sans=("snixyz.cloudflaressl.com", "cust.com"), serial=203)
+        assert not is_cloudflare_managed_certificate(cert)
+
+    def test_delegation_patterns(self):
+        assert is_cloudflare_delegation("ada.ns.cloudflare.com")
+        assert is_cloudflare_delegation("foo.cdn.cloudflare.com")
+        assert not is_cloudflare_delegation("ns1.elsewhere.net")
+        assert not is_cloudflare_delegation("cloudflare.com")
+
+
+class TestFindDepartures:
+    def test_ns_change_away_is_departure(self):
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        departures = find_departures(store)
+        assert len(departures) == 1
+        assert departures[0].apex == "cust.com"
+        assert departures[0].departure_day == D2
+
+    def test_no_change_no_departure(self):
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": CF_NS}})
+        assert find_departures(store) == []
+
+    def test_shuffle_within_cloudflare_not_departure(self):
+        store = store_with(
+            {
+                D1: {"cust.com": CF_NS},
+                D2: {"cust.com": ("carol.ns.cloudflare.com", "bob.ns.cloudflare.com")},
+            }
+        )
+        assert find_departures(store) == []
+
+    def test_domain_disappearance_counts(self):
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {}})
+        departures = find_departures(store)
+        assert len(departures) == 1
+
+    def test_transient_scan_loss_not_departure(self):
+        # Missing one day but back on Cloudflare the next: lookup failure.
+        d3 = D2 + 1
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {}, d3: {"cust.com": CF_NS}})
+        assert find_departures(store) == []
+
+    def test_disappearance_confirmed_by_following_day(self):
+        d3 = D2 + 1
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {}, d3: {}})
+        departures = find_departures(store)
+        assert len(departures) == 1
+        assert departures[0].departure_day == D2
+
+    def test_reappearance_elsewhere_still_departure(self):
+        # Gone one day, back the next on non-Cloudflare NS: real departure.
+        d3 = D2 + 1
+        store = store_with(
+            {D1: {"cust.com": CF_NS}, D2: {}, d3: {"cust.com": ("ns1.other.net",)}}
+        )
+        assert len(find_departures(store)) == 1
+
+    def test_non_cloudflare_change_ignored(self):
+        store = store_with(
+            {D1: {"x.com": ("ns1.a.net",)}, D2: {"x.com": ("ns1.b.net",)}}
+        )
+        assert find_departures(store) == []
+
+    def test_arrival_is_not_departure(self):
+        store = store_with({D1: {"cust.com": ("ns1.old.net",)}, D2: {"cust.com": CF_NS}})
+        assert find_departures(store) == []
+
+
+class TestDetector:
+    def test_departure_with_valid_managed_cert(self):
+        corpus = CertificateCorpus()
+        corpus.ingest([managed_cert()])
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        items = findings.of_class(StalenessClass.MANAGED_TLS_DEPARTURE)
+        assert len(items) == 1
+        assert items[0].affected_domain == "cust.com"
+        assert items[0].invalidation_day == D2
+
+    def test_expired_managed_cert_not_stale(self):
+        corpus = CertificateCorpus()
+        corpus.ingest([managed_cert(not_before=day(2020, 1, 1), lifetime=90)])
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        assert len(findings) == 0
+
+    def test_customer_uploaded_cert_not_counted(self):
+        corpus = CertificateCorpus()
+        corpus.ingest([make_cert(sans=("cust.com",), serial=210,
+                                 not_before=day(2022, 5, 1), lifetime=365)])
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        assert len(findings) == 0
+
+    def test_subdomain_certificates_become_stale_with_apex(self):
+        corpus = CertificateCorpus()
+        corpus.ingest([managed_cert(domain="shop.cust.com", serial=211)])
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        items = findings.of_class(StalenessClass.MANAGED_TLS_DEPARTURE)
+        assert [f.affected_domain for f in items] == ["shop.cust.com"]
+
+    def test_multiple_overlapping_certs_all_stale(self):
+        corpus = CertificateCorpus()
+        corpus.ingest(
+            [
+                managed_cert(serial=220, not_before=day(2022, 1, 1)),
+                managed_cert(serial=221, not_before=day(2022, 6, 1)),
+            ]
+        )
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        assert len(findings.of_class(StalenessClass.MANAGED_TLS_DEPARTURE)) == 2
+
+    def test_departure_without_cert_no_finding(self):
+        corpus = CertificateCorpus()
+        store = store_with({D1: {"cust.com": CF_NS}, D2: {"cust.com": ("ns1.other.net",)}})
+        findings = ManagedTlsDetector(corpus).detect(store)
+        assert len(findings) == 0

@@ -1,0 +1,128 @@
+"""Tests for the registrant-change (WHOIS x CT) detection pipeline (§4.2)."""
+
+import pytest
+
+from repro.core.detectors.registrant_change import (
+    RegistrantChangeDetector,
+    find_re_registrations,
+)
+from repro.core.stale import StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2019, 1, 1)
+REREG = T0 + 180
+
+
+class TestFindReRegistrations:
+    def test_second_creation_date_is_re_registration(self):
+        pairs = [("foo.com", T0), ("foo.com", REREG)]
+        events = find_re_registrations(pairs)
+        assert len(events) == 1
+        assert events[0].domain == "foo.com"
+        assert events[0].creation_day == REREG
+        assert events[0].previous_creation_day == T0
+
+    def test_single_creation_date_no_event(self):
+        assert find_re_registrations([("foo.com", T0)]) == []
+
+    def test_duplicate_pairs_from_repeated_crawls_collapse(self):
+        pairs = [("foo.com", T0)] * 10 + [("foo.com", REREG)] * 10
+        assert len(find_re_registrations(pairs)) == 1
+
+    def test_three_registrations_two_events(self):
+        pairs = [("foo.com", T0), ("foo.com", REREG), ("foo.com", REREG + 300)]
+        events = find_re_registrations(pairs)
+        assert len(events) == 2
+
+    def test_tld_filter_excludes_org(self):
+        pairs = [("foo.org", T0), ("foo.org", REREG)]
+        assert find_re_registrations(pairs, ("com", "net")) == []
+        assert len(find_re_registrations(pairs, None)) == 1
+
+    def test_events_sorted_by_day(self):
+        pairs = [
+            ("b.com", T0), ("b.com", T0 + 50),
+            ("a.com", T0), ("a.com", T0 + 10),
+        ]
+        events = find_re_registrations(pairs)
+        assert [e.domain for e in events] == ["a.com", "b.com"]
+
+
+@pytest.fixture()
+def corpus():
+    corpus = CertificateCorpus()
+    corpus.ingest(
+        [
+            # Spans the re-registration: stale.
+            make_cert(sans=("foo.com", "www.foo.com"), serial=101,
+                      not_before=REREG - 100, lifetime=365),
+            # Expired before the re-registration: not stale.
+            make_cert(sans=("foo.com",), serial=102,
+                      not_before=T0, lifetime=90),
+            # Different domain entirely.
+            make_cert(sans=("bar.com",), serial=103,
+                      not_before=REREG - 100, lifetime=365),
+        ]
+    )
+    return corpus
+
+
+class TestDetector:
+    def test_detects_spanning_certificate(self, corpus):
+        detector = RegistrantChangeDetector(corpus)
+        findings = detector.detect([("foo.com", T0), ("foo.com", REREG)])
+        items = findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        assert len(items) == 1
+        assert items[0].certificate.serial == 101
+        assert items[0].invalidation_day == REREG
+        assert items[0].affected_domain == "foo.com"
+        assert items[0].staleness_days == (REREG - 100 + 365) - REREG
+
+    def test_strict_containment_excludes_boundary(self, corpus):
+        detector = RegistrantChangeDetector(corpus)
+        boundary = REREG - 100  # equals cert 101's notBefore
+        findings = detector.detect([("foo.com", T0), ("foo.com", boundary)])
+        serials = {
+            f.certificate.serial
+            for f in findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        }
+        # Cert 101 starts exactly on the event day: excluded by the strict
+        # notBefore < creation criterion. (Cert 102 legitimately spans it.)
+        assert 101 not in serials
+
+    def test_subdomain_certificates_count(self):
+        corpus = CertificateCorpus()
+        corpus.ingest(
+            [make_cert(sans=("shop.foo.com",), serial=110,
+                       not_before=REREG - 50, lifetime=365)]
+        )
+        detector = RegistrantChangeDetector(corpus)
+        findings = detector.detect([("foo.com", T0), ("foo.com", REREG)])
+        items = findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        assert len(items) == 1
+        assert items[0].affected_fqdns() == frozenset({"shop.foo.com"})
+
+    def test_unrelated_e2ld_not_matched(self, corpus):
+        detector = RegistrantChangeDetector(corpus)
+        findings = detector.detect([("bar.com", T0), ("bar.com", REREG)])
+        items = findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        assert [f.certificate.serial for f in items] == [103]
+
+    def test_no_duplicate_findings_for_same_event(self, corpus):
+        detector = RegistrantChangeDetector(corpus)
+        pairs = [("foo.com", T0), ("foo.com", REREG)] * 3
+        findings = detector.detect(pairs)
+        assert len(findings.of_class(StalenessClass.REGISTRANT_CHANGE)) == 1
+
+    def test_cruiseliner_cert_matches_member_domain(self):
+        corpus = CertificateCorpus()
+        sans = ["sni777.cloudflaressl.com"] + [f"cust{i}.com" for i in range(20)]
+        corpus.ingest([make_cert(sans=tuple(sans), serial=120,
+                                 not_before=REREG - 30, lifetime=365)])
+        detector = RegistrantChangeDetector(corpus)
+        findings = detector.detect([("cust3.com", T0), ("cust3.com", REREG)])
+        items = findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        assert len(items) == 1
+        assert items[0].affected_e2lds() == frozenset({"cust3.com"})

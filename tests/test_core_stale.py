@@ -1,0 +1,158 @@
+"""Tests for StaleCertificate records and StaleFindings aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stale import StaleCertificate, StaleFindings, StalenessClass
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2021, 1, 1)
+
+
+def finding(cls=StalenessClass.REGISTRANT_CHANGE, invalidation=T0 + 100,
+            affected=None, **cert_kwargs):
+    cert = make_cert(not_before=T0, lifetime=365, **cert_kwargs)
+    return StaleCertificate(
+        certificate=cert,
+        staleness_class=cls,
+        invalidation_day=invalidation,
+        affected_domain=affected,
+    )
+
+
+class TestStaleCertificate:
+    def test_staleness_period(self):
+        f = finding(invalidation=T0 + 100)
+        assert f.stale_from == T0 + 100
+        assert f.stale_until == T0 + 365
+        assert f.staleness_days == 265
+
+    def test_days_to_invalidation(self):
+        assert finding(invalidation=T0 + 100).days_to_invalidation == 100
+
+    def test_invalidation_after_expiry_rejected(self):
+        with pytest.raises(ValueError):
+            finding(invalidation=T0 + 366)
+
+    def test_is_stale_on(self):
+        f = finding(invalidation=T0 + 100)
+        assert f.is_stale_on(T0 + 100)
+        assert f.is_stale_on(T0 + 365)
+        assert not f.is_stale_on(T0 + 99)
+        assert not f.is_stale_on(T0 + 366)
+
+    def test_affected_fqdns_all_sans_for_key_compromise(self):
+        f = finding(cls=StalenessClass.KEY_COMPROMISE,
+                    sans=("a.com", "b.com"))
+        assert f.affected_fqdns() == frozenset({"a.com", "b.com"})
+
+    def test_affected_fqdns_scoped_for_registrant_change(self):
+        f = finding(affected="a.com", sans=("a.com", "www.a.com", "b.com"))
+        assert f.affected_fqdns() == frozenset({"a.com", "www.a.com"})
+
+    def test_affected_e2lds_scoped(self):
+        f = finding(affected="a.com", sans=("a.com", "b.com"))
+        assert f.affected_e2lds() == frozenset({"a.com"})
+
+    def test_affected_e2lds_all_for_key_compromise(self):
+        f = finding(cls=StalenessClass.KEY_COMPROMISE, sans=("x.a.com", "y.b.com"))
+        assert f.affected_e2lds() == frozenset({"a.com", "b.com"})
+
+    @given(st.integers(0, 365))
+    def test_staleness_invariant(self, offset):
+        f = finding(invalidation=T0 + offset)
+        assert f.staleness_days + f.days_to_invalidation == f.certificate.lifetime_days
+        assert f.staleness_days >= 0
+
+
+class TestStaleFindings:
+    def test_add_and_group(self):
+        findings = StaleFindings()
+        findings.add(finding())
+        findings.add(finding(cls=StalenessClass.KEY_COMPROMISE))
+        assert len(findings) == 2
+        assert len(findings.of_class(StalenessClass.REGISTRANT_CHANGE)) == 1
+
+    def test_aggregate_counts_distinct_fqdns_and_e2lds(self):
+        findings = StaleFindings()
+        findings.add(finding(affected="a.com", sans=("a.com", "www.a.com"), serial=90_001))
+        findings.add(finding(affected="a.com", sans=("a.com",), serial=90_002))
+        aggregate = findings.aggregate(StalenessClass.REGISTRANT_CHANGE)
+        assert aggregate.stale_certificates == 2
+        assert aggregate.stale_fqdns == 2  # a.com + www.a.com
+        assert aggregate.stale_e2lds == 1
+
+    def test_aggregate_daily_rates_with_window(self):
+        findings = StaleFindings()
+        findings.add(finding())
+        aggregate = findings.aggregate(
+            StalenessClass.REGISTRANT_CHANGE, window=(T0, T0 + 99)
+        )
+        assert aggregate.observation_days == 100
+        assert aggregate.daily_certificates == pytest.approx(0.01)
+
+    def test_aggregate_empty_class_is_none(self):
+        assert StaleFindings().aggregate(StalenessClass.KEY_COMPROMISE) is None
+
+    def test_staleness_ecdf(self):
+        findings = StaleFindings()
+        for offset in (65, 165, 265):
+            findings.add(finding(invalidation=T0 + offset, serial=91_000 + offset))
+        ecdf = findings.staleness_ecdf(StalenessClass.REGISTRANT_CHANGE)
+        assert ecdf.median_value == 200  # staleness 300/200/100 -> median 200
+
+    def test_survival_curve(self):
+        findings = StaleFindings()
+        for offset in (10, 100, 300):
+            findings.add(finding(invalidation=T0 + offset, serial=92_000 + offset))
+        curve = findings.survival_curve(StalenessClass.REGISTRANT_CHANGE)
+        assert curve.survival_at(90) == pytest.approx(2 / 3)
+
+    def test_ecdf_empty_class_raises(self):
+        with pytest.raises(ValueError):
+            StaleFindings().staleness_ecdf(StalenessClass.KEY_COMPROMISE)
+
+    def test_total_staleness_days(self):
+        findings = StaleFindings()
+        findings.add(finding(invalidation=T0 + 265, serial=93_001))  # 100 days
+        findings.add(finding(invalidation=T0 + 165, serial=93_002))  # 200 days
+        assert findings.total_staleness_days(StalenessClass.REGISTRANT_CHANGE) == 300
+
+
+class TestLiveCountSeries:
+    def test_counts_match_brute_force(self):
+        findings = StaleFindings()
+        offsets = [(10, 94_001), (100, 94_002), (200, 94_003), (300, 94_004)]
+        for offset, serial in offsets:
+            findings.add(finding(invalidation=T0 + offset, serial=serial))
+        series = findings.live_count_series(
+            StalenessClass.REGISTRANT_CHANGE, T0, T0 + 400, step_days=13
+        )
+        items = findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        for sample_day, count in series:
+            expected = sum(1 for f in items if f.is_stale_on(sample_day))
+            assert count == expected
+
+    def test_population_replenishes_then_drains(self):
+        findings = StaleFindings()
+        for offset, serial in ((50, 94_010), (150, 94_011), (250, 94_012)):
+            findings.add(finding(invalidation=T0 + offset, serial=serial))
+        series = findings.live_count_series(
+            StalenessClass.REGISTRANT_CHANGE, T0, T0 + 500, step_days=25
+        )
+        counts = [c for _, c in series]
+        assert max(counts) >= 2  # overlapping stale windows accumulate
+        assert counts[-1] == 0  # everything expires eventually
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            StaleFindings().live_count_series(
+                StalenessClass.REGISTRANT_CHANGE, T0, T0 + 10, step_days=0
+            )
+
+    def test_empty_class_all_zero(self):
+        series = StaleFindings().live_count_series(
+            StalenessClass.KEY_COMPROMISE, T0, T0 + 50, step_days=10
+        )
+        assert all(count == 0 for _, count in series)

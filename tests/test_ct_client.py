@@ -1,0 +1,70 @@
+"""Tests for the auditing CT monitor."""
+
+import pytest
+
+from repro.ct.client import AuditFailure, CtMonitor
+from repro.ct.log import CtLog
+from repro.ct.loglist import LogList, TrustOperator
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2021, 1, 1)
+
+
+@pytest.fixture()
+def setup():
+    log = CtLog("mon-log", "Op")
+    ll = LogList()
+    ll.add_log(log)
+    ll.trust("mon-log", TrustOperator.CHROME, T0)
+    return log, ll
+
+
+class TestPolling:
+    def test_poll_ingests_all_entries(self, setup):
+        log, ll = setup
+        for serial in range(80_000, 80_020):
+            log.submit(make_cert(serial=serial, not_before=T0), T0)
+        monitor = CtMonitor(ll, batch_size=7)
+        assert monitor.poll_all() == 20
+        assert len(monitor.corpus) == 20
+
+    def test_incremental_poll_fetches_only_new(self, setup):
+        log, ll = setup
+        log.submit(make_cert(serial=81_000, not_before=T0), T0)
+        monitor = CtMonitor(ll)
+        assert monitor.poll_log(log) == 1
+        log.submit(make_cert(serial=81_001, not_before=T0), T0)
+        assert monitor.poll_log(log) == 1
+        assert monitor.state_of("mon-log").fetched_upto == 2
+
+    def test_dedup_through_corpus(self, setup):
+        log, ll = setup
+        cert = make_cert(serial=82_000, not_before=T0)
+        log.submit(cert.as_precertificate(), T0)
+        log.submit(cert.with_scts(["s"]), T0)
+        monitor = CtMonitor(ll)
+        monitor.poll_all()
+        assert len(monitor.finalize_corpus()) == 1
+
+    def test_consistency_audit_passes_on_honest_log(self, setup):
+        log, ll = setup
+        monitor = CtMonitor(ll, audit=True)
+        log.submit(make_cert(serial=83_000, not_before=T0), T0)
+        monitor.poll_log(log)
+        log.submit(make_cert(serial=83_001, not_before=T0), T0)
+        monitor.poll_log(log)  # consistency proof verified internally
+
+    def test_shrunken_tree_detected(self, setup):
+        log, ll = setup
+        log.submit(make_cert(serial=84_000, not_before=T0), T0)
+        monitor = CtMonitor(ll)
+        monitor.poll_log(log)
+        monitor.state_of("mon-log").last_tree_size = 5  # simulate rollback
+        with pytest.raises(AuditFailure, match="shrank"):
+            monitor.poll_log(log)
+
+    def test_invalid_batch_size(self, setup):
+        _log, ll = setup
+        with pytest.raises(ValueError):
+            CtMonitor(ll, batch_size=0)

@@ -1,0 +1,91 @@
+"""Tests for CT log submission, SCTs, and temporal sharding."""
+
+import pytest
+
+from repro.ct.log import CtLog, LogShardingPolicy, ShardRejection, shard_family
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2021, 2, 1)
+
+
+class TestSubmission:
+    def test_submit_returns_sct_and_grows_tree(self):
+        log = CtLog("test-log", "TestOp")
+        cert = make_cert(not_before=T0)
+        sct = log.submit(cert.as_precertificate(), T0)
+        assert sct.log_id == "test-log"
+        assert log.tree_size == 1
+        assert len(sct.token()) == 32
+
+    def test_duplicate_submission_idempotent(self):
+        log = CtLog("test-log", "TestOp")
+        precert = make_cert(not_before=T0).as_precertificate()
+        sct1 = log.submit(precert, T0)
+        sct2 = log.submit(precert, T0 + 5)
+        assert log.tree_size == 1
+        assert sct1.timestamp_day == sct2.timestamp_day == T0
+
+    def test_precert_and_final_are_distinct_entries(self):
+        log = CtLog("test-log", "TestOp")
+        cert = make_cert(not_before=T0)
+        log.submit(cert.as_precertificate(), T0)
+        log.submit(cert.with_scts(["s"]), T0)
+        assert log.tree_size == 2
+
+    def test_get_entries_range(self):
+        log = CtLog("test-log", "TestOp")
+        for i in range(5):
+            log.submit(make_cert(serial=40_000 + i, not_before=T0), T0)
+        entries = log.get_entries(1, 3)
+        assert [e.index for e in entries] == [1, 2, 3]
+
+    def test_get_entries_invalid_range(self):
+        log = CtLog("test-log", "TestOp")
+        with pytest.raises(ValueError):
+            log.get_entries(3, 1)
+
+    def test_inclusion_proof_for_entries(self):
+        from repro.ct.merkle import verify_inclusion
+
+        log = CtLog("test-log", "TestOp")
+        for i in range(9):
+            log.submit(make_cert(serial=41_000 + i, not_before=T0), T0)
+        entry = log.get_entries(4, 4)[0]
+        proof = log.inclusion_proof(4)
+        assert verify_inclusion(entry.leaf_bytes(), 4, 9, proof, log.root_hash())
+
+
+class TestSharding:
+    def test_shard_accepts_matching_expiry_year(self):
+        shard = CtLog("argon2022", "Google", LogShardingPolicy.for_year(2022))
+        cert = make_cert(not_before=day(2021, 8, 1), lifetime=365)  # expires 2022
+        shard.submit(cert, day(2021, 8, 1))
+        assert shard.tree_size == 1
+
+    def test_shard_rejects_other_years(self):
+        shard = CtLog("argon2022", "Google", LogShardingPolicy.for_year(2022))
+        early = make_cert(not_before=day(2020, 1, 1), lifetime=90)
+        late = make_cert(not_before=day(2023, 1, 1), lifetime=365)
+        with pytest.raises(ShardRejection):
+            shard.submit(early, day(2020, 1, 1))
+        with pytest.raises(ShardRejection):
+            shard.submit(late, day(2023, 1, 1))
+
+    def test_unsharded_log_accepts_everything(self):
+        log = CtLog("pilot", "Google")
+        log.submit(make_cert(not_before=day(2014, 1, 1)), day(2014, 1, 1))
+        log.submit(make_cert(not_before=day(2022, 1, 1)), day(2022, 1, 1))
+        assert log.tree_size == 2
+
+    def test_shard_family_covers_years(self):
+        shards = shard_family("argon", "Google", 2020, 2023)
+        assert [s.log_id for s in shards] == [
+            "argon2020",
+            "argon2021",
+            "argon2022",
+            "argon2023",
+        ]
+        cert = make_cert(not_before=day(2021, 1, 1), lifetime=365)  # expires 2022
+        accepting = [s for s in shards if s.sharding.accepts(cert)]
+        assert [s.log_id for s in accepting] == ["argon2022"]

@@ -1,0 +1,62 @@
+"""Tests for trusted-log lists."""
+
+import pytest
+
+from repro.ct.log import CtLog
+from repro.ct.loglist import LogList, TrustOperator
+from repro.util.dates import day
+
+T0 = day(2019, 1, 1)
+
+
+@pytest.fixture()
+def log_list():
+    ll = LogList()
+    for log_id in ("a-log", "b-log", "never-trusted"):
+        ll.add_log(CtLog(log_id, "Op"))
+    ll.trust("a-log", TrustOperator.CHROME, T0)
+    ll.trust("b-log", TrustOperator.APPLE, T0 + 100)
+    return ll
+
+
+class TestTrust:
+    def test_duplicate_log_rejected(self, log_list):
+        with pytest.raises(ValueError):
+            log_list.add_log(CtLog("a-log", "Op"))
+
+    def test_trust_unknown_log_rejected(self, log_list):
+        with pytest.raises(KeyError):
+            log_list.trust("ghost", TrustOperator.CHROME, T0)
+
+    def test_logs_trusted_on_day(self, log_list):
+        assert [l.log_id for l in log_list.logs_trusted_on(T0)] == ["a-log"]
+        assert [l.log_id for l in log_list.logs_trusted_on(T0 + 100)] == [
+            "a-log",
+            "b-log",
+        ]
+
+    def test_operator_filter(self, log_list):
+        chrome = log_list.logs_trusted_on(T0 + 200, TrustOperator.CHROME)
+        assert [l.log_id for l in chrome] == ["a-log"]
+
+    def test_distrust_closes_interval(self, log_list):
+        log_list.distrust("a-log", TrustOperator.CHROME, T0 + 50)
+        assert log_list.logs_trusted_on(T0 + 50) == []
+        assert [l.log_id for l in log_list.logs_trusted_on(T0 + 10)] == ["a-log"]
+
+    def test_distrust_without_open_interval(self, log_list):
+        with pytest.raises(KeyError):
+            log_list.distrust("b-log", TrustOperator.CHROME, T0)
+
+    def test_ever_trusted_includes_distrusted(self, log_list):
+        log_list.distrust("a-log", TrustOperator.CHROME, T0 + 50)
+        ever = {l.log_id for l in log_list.logs_ever_trusted()}
+        # The paper's criterion: trusted "at some point in time".
+        assert ever == {"a-log", "b-log"}
+
+    def test_never_trusted_excluded(self, log_list):
+        assert "never-trusted" not in {l.log_id for l in log_list.logs_ever_trusted()}
+
+    def test_all_logs(self, log_list):
+        assert len(log_list.all_logs()) == 3
+        assert len(log_list) == 3

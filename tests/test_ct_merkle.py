@@ -1,0 +1,126 @@
+"""Tests for the RFC 6962 Merkle tree and proofs (incl. property tests)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ct.merkle import (
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+def build_tree(n):
+    tree = MerkleTree()
+    for i in range(n):
+        tree.append(f"entry-{i}".encode())
+    return tree
+
+
+class TestTreeBasics:
+    def test_empty_root_is_hash_of_empty(self):
+        import hashlib
+
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = build_tree(1)
+        assert tree.root() == leaf_hash(b"entry-0")
+
+    def test_two_leaf_root(self):
+        tree = build_tree(2)
+        assert tree.root() == node_hash(leaf_hash(b"entry-0"), leaf_hash(b"entry-1"))
+
+    def test_domain_separation_prevents_splicing(self):
+        # leaf hash of X != node hash of (X-left, X-right) components.
+        assert leaf_hash(b"ab") != node_hash(b"a", b"b")
+
+    def test_root_of_prefix(self):
+        tree = build_tree(10)
+        prefix = build_tree(6)
+        assert tree.root(6) == prefix.root()
+
+    def test_root_size_bounds(self):
+        tree = build_tree(3)
+        with pytest.raises(ValueError):
+            tree.root(4)
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 33, 64, 100])
+    def test_every_index_verifies(self, size):
+        tree = build_tree(size)
+        root = tree.root(size)
+        for index in range(size):
+            proof = tree.inclusion_proof(index, size)
+            assert verify_inclusion(f"entry-{index}".encode(), index, size, proof, root)
+
+    def test_wrong_leaf_fails(self):
+        tree = build_tree(10)
+        proof = tree.inclusion_proof(3, 10)
+        assert not verify_inclusion(b"tampered", 3, 10, proof, tree.root(10))
+
+    def test_wrong_index_fails(self):
+        tree = build_tree(10)
+        proof = tree.inclusion_proof(3, 10)
+        assert not verify_inclusion(b"entry-3", 4, 10, proof, tree.root(10))
+
+    def test_wrong_root_fails(self):
+        tree = build_tree(10)
+        proof = tree.inclusion_proof(3, 10)
+        assert not verify_inclusion(b"entry-3", 3, 10, proof, tree.root(9))
+
+    def test_out_of_range_rejected(self):
+        tree = build_tree(4)
+        with pytest.raises(ValueError):
+            tree.inclusion_proof(4, 4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 120))
+    def test_property_random_sizes(self, size):
+        tree = build_tree(size)
+        root = tree.root()
+        index = size // 2
+        proof = tree.inclusion_proof(index)
+        assert verify_inclusion(f"entry-{index}".encode(), index, size, proof, root)
+
+
+class TestConsistencyProofs:
+    @pytest.mark.parametrize(
+        "old,new",
+        [(1, 2), (2, 3), (3, 7), (4, 8), (6, 8), (7, 13), (8, 8), (33, 100), (64, 65)],
+    )
+    def test_consistency_verifies(self, old, new):
+        tree = build_tree(new)
+        proof = tree.consistency_proof(old, new)
+        assert verify_consistency(old, new, tree.root(old), tree.root(new), proof)
+
+    def test_equal_sizes_empty_proof(self):
+        tree = build_tree(5)
+        assert tree.consistency_proof(5, 5) == []
+        assert verify_consistency(5, 5, tree.root(5), tree.root(5), [])
+
+    def test_rewritten_history_detected(self):
+        honest = build_tree(8)
+        forged = MerkleTree()
+        for i in range(8):
+            forged.append(f"forged-{i}".encode())
+        proof = forged.consistency_proof(4, 8)
+        assert not verify_consistency(4, 8, honest.root(4), forged.root(8), proof)
+
+    def test_invalid_sizes_rejected(self):
+        tree = build_tree(5)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(0, 5)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(6, 5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 90), st.integers(0, 60))
+    def test_property_all_pairs(self, old, extra):
+        new = old + extra
+        tree = build_tree(new)
+        proof = tree.consistency_proof(old, new)
+        assert verify_consistency(old, new, tree.root(old), tree.root(new), proof)

@@ -1,0 +1,123 @@
+"""Property tests for the detectors against brute-force oracles.
+
+Each detector is checked on randomized inputs against a direct, obviously-
+correct reimplementation of its specification sentence from the paper.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detectors.registrant_change import (
+    RegistrantChangeDetector,
+    find_re_registrations,
+)
+from repro.core.lifetime import capped_staleness_days
+from repro.core.stale import StaleCertificate, StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2019, 1, 1)
+
+# Strategy: a handful of domains with random registration histories and
+# random certificates, all expressed as day offsets from T0.
+_domains = st.sampled_from(["alpha.com", "beta.com", "gamma.net"])
+
+
+@st.composite
+def whois_pairs(draw):
+    pairs = []
+    for domain in ["alpha.com", "beta.com", "gamma.net"]:
+        dates = draw(st.lists(st.integers(0, 900), min_size=1, max_size=4, unique=True))
+        pairs.extend((domain, T0 + offset) for offset in sorted(dates))
+    return pairs
+
+
+@st.composite
+def cert_specs(draw):
+    specs = []
+    count = draw(st.integers(0, 8))
+    for index in range(count):
+        domain = draw(_domains)
+        start = draw(st.integers(0, 800))
+        lifetime = draw(st.sampled_from([90, 365, 398]))
+        specs.append((domain, T0 + start, lifetime, 200_000 + index))
+    return specs
+
+
+def _build_corpus(specs):
+    corpus = CertificateCorpus()
+    corpus.ingest(
+        make_cert(sans=(domain, f"www.{domain}"), serial=serial,
+                  not_before=start, lifetime=lifetime)
+        for domain, start, lifetime, serial in specs
+    )
+    return corpus
+
+
+class TestRegistrantChangeOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(whois_pairs(), cert_specs())
+    def test_matches_specification(self, pairs, specs):
+        """Findings == {(cert, domain, creation) : notBefore < creation <
+        notAfter, creation is a re-registration, SAN covers domain}."""
+        corpus = _build_corpus(specs)
+        findings = RegistrantChangeDetector(corpus, tlds=None).detect(pairs)
+        got = {
+            (f.certificate.serial, f.affected_domain, f.invalidation_day)
+            for f in findings.of_class(StalenessClass.REGISTRANT_CHANGE)
+        }
+
+        # Brute-force oracle straight from Section 4.2's sentence.
+        expected = set()
+        dates_by_domain: Dict[str, List[int]] = {}
+        for domain, creation in pairs:
+            dates_by_domain.setdefault(domain, []).append(creation)
+        for domain, dates in dates_by_domain.items():
+            for creation in sorted(set(dates))[1:]:  # re-registrations only
+                for spec_domain, start, lifetime, serial in specs:
+                    if spec_domain != domain:
+                        continue
+                    if start < creation < start + lifetime:
+                        expected.add((serial, domain, creation))
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(whois_pairs())
+    def test_first_creation_date_never_an_event(self, pairs):
+        events = find_re_registrations(pairs, None)
+        first_dates = {}
+        for domain, creation in pairs:
+            first_dates.setdefault(domain, min(c for d, c in pairs if d == domain))
+        for event in events:
+            assert event.creation_day != first_dates[event.domain]
+
+
+class TestLifetimeCapOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 900),  # lifetime
+        st.integers(0, 900),  # invalidation offset (clamped)
+        st.integers(1, 900),  # cap
+    )
+    def test_capped_staleness_matches_direct_simulation(self, lifetime, offset, cap):
+        """Capping must equal literally rebuilding the certificate with the
+        clamped lifetime and recomputing staleness (dropping the finding if
+        the invalidation lands outside the shorter window)."""
+        offset = min(offset, lifetime)
+        cert = make_cert(not_before=T0, lifetime=lifetime)
+        finding = StaleCertificate(
+            certificate=cert,
+            staleness_class=StalenessClass.KEY_COMPROMISE,
+            invalidation_day=T0 + offset,
+        )
+        got = capped_staleness_days(finding, cap)
+
+        clamped = cert.clamp_lifetime(cap)
+        if finding.invalidation_day > clamped.not_after:
+            expected = 0
+        else:
+            expected = clamped.not_after - finding.invalidation_day
+        assert got == expected

@@ -1,0 +1,100 @@
+"""Tests for the DANE/TLSA module."""
+
+import pytest
+
+from repro.dns.dane import (
+    DaneDeployment,
+    StalenessComparison,
+    TlsaMatching,
+    TlsaRecord,
+    TlsaSelector,
+    TlsaUsage,
+    compare_staleness_windows,
+    tlsa_name,
+)
+from repro.dns.zone import ZoneStore
+from repro.pki.keys import KeyStore
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2022, 1, 1)
+
+
+@pytest.fixture()
+def deployment():
+    zones = ZoneStore()
+    zones.create("example.com")
+    return DaneDeployment(zones)
+
+
+class TestTlsaRecord:
+    def test_rdata_roundtrip(self):
+        record = TlsaRecord(TlsaUsage.DANE_EE, TlsaSelector.SPKI, TlsaMatching.SHA256, "ab" * 20)
+        assert TlsaRecord.from_rdata(record.to_rdata()) == record
+
+    def test_malformed_rdata_rejected(self):
+        with pytest.raises(ValueError):
+            TlsaRecord.from_rdata("3 1 1")
+
+    def test_for_key_binds_spki(self, key_store):
+        key = key_store.generate("owner", T0)
+        record = TlsaRecord.for_key(key)
+        cert = make_cert(key=key, not_before=T0)
+        assert record.matches_certificate(cert)
+
+    def test_mismatched_key_fails(self, key_store):
+        record = TlsaRecord.for_key(key_store.generate("owner", T0))
+        other = make_cert(key=key_store.generate("owner", T0), not_before=T0)
+        assert not record.matches_certificate(other)
+
+    def test_tlsa_name_format(self):
+        assert tlsa_name("www.example.com") == "_443._tcp.www.example.com"
+        assert tlsa_name("example.com", 25, "tcp") == "_25._tcp.example.com"
+
+
+class TestDeployment:
+    def test_publish_lookup_verify(self, deployment, key_store):
+        key = key_store.generate("owner", T0)
+        cert = make_cert(sans=("example.com",), key=key, not_before=T0)
+        deployment.publish("example.com", TlsaRecord.for_key(key))
+        assert deployment.verify("example.com", cert)
+
+    def test_verify_fails_without_records(self, deployment):
+        cert = make_cert(sans=("example.com",), not_before=T0)
+        assert not deployment.verify("example.com", cert)
+
+    def test_key_rotation_replaces_binding_immediately(self, deployment, key_store):
+        old_key = key_store.generate("owner", T0)
+        new_key = key_store.generate("owner", T0 + 100)
+        old_cert = make_cert(sans=("example.com",), key=old_key, not_before=T0)
+        new_cert = make_cert(sans=("example.com",), key=new_key, not_before=T0 + 100)
+        deployment.publish("example.com", TlsaRecord.for_key(old_key))
+        deployment.publish("example.com", TlsaRecord.for_key(new_key))
+        # The DANE property: the old key is no longer accepted at all,
+        # even though old_cert is still unexpired.
+        assert old_cert.is_valid_on(T0 + 150)
+        assert not deployment.verify("example.com", old_cert)
+        assert deployment.verify("example.com", new_cert)
+
+    def test_publish_requires_zone(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.publish("nozone.net", TlsaRecord.for_key(KeyStore().generate("o", T0)))
+
+
+class TestStalenessComparison:
+    def test_pki_window_is_remaining_lifetime(self):
+        cert = make_cert(not_before=T0, lifetime=365)
+        comparison = compare_staleness_windows(cert, T0 + 65)
+        assert comparison.pki_stale_days == 300
+        assert comparison.dane_stale_seconds == 3600
+
+    def test_ratio_is_orders_of_magnitude(self):
+        cert = make_cert(not_before=T0, lifetime=365)
+        comparison = compare_staleness_windows(cert, T0 + 65)
+        # 300 days vs 1 hour: > 1000x, the paper's hours-vs-months contrast.
+        assert comparison.pki_to_dane_ratio > 1000
+
+    def test_expired_certificate_no_pki_window(self):
+        cert = make_cert(not_before=T0, lifetime=90)
+        comparison = compare_staleness_windows(cert, T0 + 100)
+        assert comparison.pki_stale_days == 0

@@ -1,0 +1,76 @@
+"""Property tests: snapshot diffs exactly explain day-over-day change."""
+
+from typing import Dict, FrozenSet
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.records import RecordType
+from repro.dns.snapshots import DailySnapshot, diff_days
+from repro.util.dates import day
+
+D1, D2 = day(2022, 8, 1), day(2022, 8, 2)
+
+_APEXES = ("a.com", "b.com", "c.net")
+_TARGETS = ("ns1.x.net", "ns2.x.net", "ada.ns.cloudflare.com", "edge.cdn.net")
+
+_state = st.dictionaries(
+    st.sampled_from(_APEXES),
+    st.fixed_dictionaries(
+        {
+            RecordType.NS.value: st.frozensets(st.sampled_from(_TARGETS), max_size=3),
+            RecordType.A.value: st.frozensets(
+                st.sampled_from(("192.0.2.1", "192.0.2.2")), max_size=2
+            ),
+        }
+    ),
+    max_size=3,
+)
+
+
+def _snapshot(scan_day, state):
+    snapshot = DailySnapshot(scan_day)
+    for apex, by_type in state.items():
+        for rtype_value, values in by_type.items():
+            snapshot.observe(apex, RecordType(rtype_value), values)
+    return snapshot
+
+
+class TestDiffProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(_state, _state)
+    def test_applying_diff_reconstructs_after_state(self, before, after):
+        """before - removed + added == after, for every apex present in both."""
+        diffs = {
+            d.apex: d for d in diff_days(_snapshot(D1, before), _snapshot(D2, after))
+        }
+        for apex in set(before) & set(after):
+            diff = diffs.get(apex)
+            for rtype_value in (RecordType.NS.value, RecordType.A.value):
+                old = before[apex].get(rtype_value, frozenset())
+                new = after[apex].get(rtype_value, frozenset())
+                removed = diff.removed.get(rtype_value, frozenset()) if diff else frozenset()
+                added = diff.added.get(rtype_value, frozenset()) if diff else frozenset()
+                assert (old - removed) | added == new
+                assert removed <= old
+                assert added & old == frozenset()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_state)
+    def test_identical_days_produce_no_diffs(self, state):
+        assert list(diff_days(_snapshot(D1, state), _snapshot(D2, state))) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(_state)
+    def test_disappearance_marks_all_records_removed(self, state):
+        diffs = list(diff_days(_snapshot(D1, state), _snapshot(D2, {})))
+        flagged = {d.apex for d in diffs if d.disappeared}
+        expected = {
+            apex for apex, by_type in state.items()
+            if any(values for values in by_type.values())
+        }
+        # Every apex that had any data must be reported as disappeared.
+        assert expected <= flagged | {
+            apex for apex, by_type in state.items()
+            if not any(by_type.values())
+        }

@@ -1,0 +1,69 @@
+"""Tests for the CNAME-chasing resolver."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.resolver import Resolver, ResolutionStatus
+from repro.dns.zone import ZoneStore
+
+
+@pytest.fixture()
+def store():
+    zones = ZoneStore()
+    example = zones.create("example.com")
+    example.add("example.com", RecordType.A, "192.0.2.10")
+    example.add("example.com", RecordType.NS, "ns1.dns.net")
+    example.add("www.example.com", RecordType.CNAME, "edge.cdn.net")
+    cdn = zones.create("cdn.net")
+    cdn.add("edge.cdn.net", RecordType.A, "203.0.113.5")
+    return zones
+
+
+class TestResolve:
+    def test_direct_a(self, store):
+        result = Resolver(store).resolve("example.com", RecordType.A)
+        assert result.ok
+        assert result.rdatas() == ["192.0.2.10"]
+
+    def test_nxdomain_for_unknown_zone(self, store):
+        result = Resolver(store).resolve("missing.org", RecordType.A)
+        assert result.status is ResolutionStatus.NXDOMAIN
+
+    def test_cname_chase_across_zones(self, store):
+        result = Resolver(store).resolve("www.example.com", RecordType.A)
+        assert result.ok
+        assert result.rdatas() == ["203.0.113.5"]
+        assert result.cname_chain == ["edge.cdn.net"]
+
+    def test_cname_query_returns_cname_without_chasing(self, store):
+        result = Resolver(store).resolve("www.example.com", RecordType.CNAME)
+        assert result.ok
+        assert result.rdatas() == ["edge.cdn.net"]
+        assert result.cname_chain == []
+
+    def test_nodata_when_name_exists_without_type(self, store):
+        result = Resolver(store).resolve("example.com", RecordType.AAAA)
+        assert result.status is ResolutionStatus.NODATA
+
+    def test_cname_loop_detected(self):
+        zones = ZoneStore()
+        zone = zones.create("loop.com")
+        zone.add("a.loop.com", RecordType.CNAME, "b.loop.com")
+        zone.add("b.loop.com", RecordType.CNAME, "a.loop.com")
+        result = Resolver(zones).resolve("a.loop.com", RecordType.A)
+        assert result.status is ResolutionStatus.CNAME_LOOP
+
+    def test_chain_too_long(self):
+        zones = ZoneStore()
+        zone = zones.create("deep.com")
+        for i in range(12):
+            zone.add(f"n{i}.deep.com", RecordType.CNAME, f"n{i + 1}.deep.com")
+        result = Resolver(zones).resolve("n0.deep.com", RecordType.A)
+        assert result.status is ResolutionStatus.CHAIN_TOO_LONG
+
+    def test_dangling_cname_is_nxdomain(self, store):
+        # Target zone dropped: the paper's dangling-record scenario.
+        store.drop("cdn.net")
+        result = Resolver(store).resolve("www.example.com", RecordType.A)
+        assert result.status is ResolutionStatus.NXDOMAIN
+        assert result.cname_chain == ["edge.cdn.net"]

@@ -1,0 +1,76 @@
+"""Tests for the daily active scanner."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.scanner import ActiveScanner
+from repro.dns.zone import ZoneStore
+from repro.util.dates import day
+from repro.util.rng import RngStream
+
+D1 = day(2022, 8, 1)
+
+
+@pytest.fixture()
+def zones():
+    store = ZoneStore()
+    a = store.create("alpha.com")
+    a.add("alpha.com", RecordType.A, "192.0.2.1")
+    a.add("alpha.com", RecordType.NS, "ns1.dns.net")
+    b = store.create("beta.com")
+    b.add("beta.com", RecordType.NS, "ada.ns.cloudflare.com")
+    return store
+
+
+class TestActiveScanner:
+    def test_scan_day_captures_records(self, zones):
+        scanner = ActiveScanner(zones)
+        obs = scanner.scan_day(D1)
+        assert obs.apex_count == 2
+        assert obs.a_records == 1
+        assert obs.ns_records == 2
+        snapshot = scanner.store.get(D1)
+        assert snapshot.get("beta.com").get(RecordType.NS) == frozenset(
+            {"ada.ns.cloudflare.com"}
+        )
+
+    def test_scan_range_stores_each_day(self, zones):
+        scanner = ActiveScanner(zones)
+        assert scanner.scan_range(D1, D1 + 2) == 3
+        assert scanner.store.days() == [D1, D1 + 1, D1 + 2]
+
+    def test_scan_sees_changes_between_days(self, zones):
+        scanner = ActiveScanner(zones)
+        scanner.scan_day(D1)
+        zone = zones.get("beta.com")
+        zone.replace("beta.com", RecordType.NS, ["ns1.elsewhere.net"])
+        scanner.scan_day(D1 + 1)
+        before = scanner.store.get(D1).get("beta.com").get(RecordType.NS)
+        after = scanner.store.get(D1 + 1).get("beta.com").get(RecordType.NS)
+        assert "ada.ns.cloudflare.com" in before
+        assert "ada.ns.cloudflare.com" not in after
+
+    def test_dropped_zone_disappears(self, zones):
+        scanner = ActiveScanner(zones)
+        scanner.scan_day(D1)
+        zones.drop("beta.com")
+        scanner.scan_day(D1 + 1)
+        assert "beta.com" in scanner.store.get(D1).apexes()
+        assert "beta.com" not in scanner.store.get(D1 + 1).apexes()
+
+    def test_loss_rate_requires_rng(self, zones):
+        with pytest.raises(ValueError):
+            ActiveScanner(zones, loss_rate=0.5)
+
+    def test_loss_rate_drops_lookups(self, zones):
+        scanner = ActiveScanner(zones, loss_rate=1.0, rng=RngStream(1, "scan"))
+        obs = scanner.scan_day(D1)
+        # Two zones x four scanned types, every lookup dropped.
+        assert obs.failed_lookups == 2 * 4
+        assert obs.apex_count == 0
+        assert obs.a_records == 0
+
+    def test_explicit_apex_list(self, zones):
+        scanner = ActiveScanner(zones)
+        obs = scanner.scan_day(D1, apexes=["alpha.com"])
+        assert obs.apex_count == 1

@@ -1,0 +1,106 @@
+"""Tests for daily snapshots and day-over-day diffing."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.snapshots import (
+    DailySnapshot,
+    DomainObservation,
+    SnapshotStore,
+    diff_days,
+)
+from repro.util.dates import day
+
+
+def snap(d, observations):
+    snapshot = DailySnapshot(d)
+    for apex, records in observations.items():
+        for rtype, values in records.items():
+            snapshot.observe(apex, rtype, values)
+    return snapshot
+
+
+D1, D2 = day(2022, 8, 1), day(2022, 8, 2)
+
+
+class TestDailySnapshot:
+    def test_observe_and_get(self):
+        snapshot = snap(D1, {"a.com": {RecordType.NS: ["ns1.x.net"]}})
+        obs = snapshot.get("a.com")
+        assert obs.get(RecordType.NS) == frozenset({"ns1.x.net"})
+        assert obs.get(RecordType.A) == frozenset()
+
+    def test_delegation_targets_union_ns_cname(self):
+        obs = DomainObservation("a.com")
+        obs.set(RecordType.NS, ["ns1.x.net"])
+        obs.set(RecordType.CNAME, ["edge.cdn.net"])
+        assert obs.delegation_targets() == frozenset({"ns1.x.net", "edge.cdn.net"})
+
+    def test_record_count(self):
+        snapshot = snap(
+            D1, {"a.com": {RecordType.NS: ["n1", "n2"], RecordType.A: ["192.0.2.1"]}}
+        )
+        assert snapshot.record_count() == 3
+
+    def test_from_observations_shares_objects(self):
+        obs = DomainObservation("a.com")
+        obs.set(RecordType.NS, ["ns1.x.net"])
+        mapping = {"a.com": obs}
+        s1 = DailySnapshot.from_observations(D1, mapping)
+        s2 = DailySnapshot.from_observations(D2, mapping)
+        assert s1.get("a.com") is s2.get("a.com")
+
+
+class TestDiffDays:
+    def test_no_change_yields_nothing(self):
+        before = snap(D1, {"a.com": {RecordType.NS: ["ns1.x.net"]}})
+        after = snap(D2, {"a.com": {RecordType.NS: ["ns1.x.net"]}})
+        assert list(diff_days(before, after)) == []
+
+    def test_removed_and_added(self):
+        before = snap(D1, {"a.com": {RecordType.NS: ["old.ns.net"]}})
+        after = snap(D2, {"a.com": {RecordType.NS: ["new.ns.net"]}})
+        diffs = list(diff_days(before, after))
+        assert len(diffs) == 1
+        diff = diffs[0]
+        assert diff.removed_of(RecordType.NS) == frozenset({"old.ns.net"})
+        assert diff.added_of(RecordType.NS) == frozenset({"new.ns.net"})
+        assert not diff.disappeared
+
+    def test_disappearance(self):
+        before = snap(D1, {"a.com": {RecordType.NS: ["ns1.x.net"]}})
+        after = snap(D2, {})
+        diffs = list(diff_days(before, after))
+        assert diffs[0].disappeared
+        assert diffs[0].removed_of(RecordType.NS) == frozenset({"ns1.x.net"})
+
+    def test_new_apex_not_reported(self):
+        before = snap(D1, {})
+        after = snap(D2, {"new.com": {RecordType.NS: ["ns1.x.net"]}})
+        assert list(diff_days(before, after)) == []
+
+    def test_partial_rrset_change(self):
+        before = snap(D1, {"a.com": {RecordType.NS: ["n1", "n2"]}})
+        after = snap(D2, {"a.com": {RecordType.NS: ["n2", "n3"]}})
+        diff = next(diff_days(before, after))
+        assert diff.removed_of(RecordType.NS) == frozenset({"n1"})
+        assert diff.added_of(RecordType.NS) == frozenset({"n3"})
+
+
+class TestSnapshotStore:
+    def test_days_sorted(self):
+        store = SnapshotStore()
+        store.put(DailySnapshot(D2))
+        store.put(DailySnapshot(D1))
+        assert store.days() == [D1, D2]
+
+    def test_consecutive_pairs(self):
+        store = SnapshotStore()
+        d3 = day(2022, 8, 5)  # gap: scans can miss days
+        for d in (D1, D2, d3):
+            store.put(DailySnapshot(d))
+        pairs = [(a.day, b.day) for a, b in store.consecutive_pairs()]
+        assert pairs == [(D1, D2), (D2, d3)]
+
+    def test_get_missing_day(self):
+        assert SnapshotStore().get(D1) is None

@@ -1,0 +1,110 @@
+"""Tests for zones and the zone store."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.zone import Zone, ZoneStore
+
+
+class TestZone:
+    def test_add_and_lookup(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", RecordType.A, "192.0.2.1")
+        records = zone.lookup("www.example.com", RecordType.A)
+        assert [r.rdata for r in records] == ["192.0.2.1"]
+
+    def test_rejects_out_of_zone_names(self):
+        zone = Zone("example.com")
+        with pytest.raises(ValueError):
+            zone.add("other.net", RecordType.A, "192.0.2.1")
+        with pytest.raises(ValueError):
+            zone.add("notexample.com", RecordType.A, "192.0.2.1")  # label alignment
+
+    def test_cname_exclusivity(self):
+        zone = Zone("example.com")
+        zone.add("alias.example.com", RecordType.CNAME, "target.example.com")
+        with pytest.raises(ValueError):
+            zone.add("alias.example.com", RecordType.A, "192.0.2.1")
+
+    def test_a_then_cname_rejected(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", RecordType.A, "192.0.2.1")
+        with pytest.raises(ValueError):
+            zone.add("www.example.com", RecordType.CNAME, "target.example.com")
+
+    def test_remove_by_type(self):
+        zone = Zone("example.com")
+        zone.add("example.com", RecordType.NS, "ns1.host.net")
+        zone.add("example.com", RecordType.NS, "ns2.host.net")
+        zone.add("example.com", RecordType.A, "192.0.2.1")
+        assert zone.remove("example.com", RecordType.NS) == 2
+        assert zone.lookup("example.com", RecordType.NS) == []
+        assert len(zone.lookup("example.com", RecordType.A)) == 1
+
+    def test_remove_specific_rdata(self):
+        zone = Zone("example.com")
+        zone.add("example.com", RecordType.NS, "ns1.host.net")
+        zone.add("example.com", RecordType.NS, "ns2.host.net")
+        assert zone.remove("example.com", RecordType.NS, "ns1.host.net") == 1
+        assert [r.rdata for r in zone.lookup("example.com", RecordType.NS)] == ["ns2.host.net"]
+
+    def test_replace_is_atomic_swap(self):
+        zone = Zone("example.com")
+        zone.add("example.com", RecordType.NS, "old1.ns.net")
+        zone.replace("example.com", RecordType.NS, ["new1.ns.net", "new2.ns.net"])
+        assert {r.rdata for r in zone.lookup("example.com", RecordType.NS)} == {
+            "new1.ns.net",
+            "new2.ns.net",
+        }
+
+    def test_soa_serial_bumps_on_change(self):
+        zone = Zone("example.com")
+        before = zone.soa.serial
+        zone.add("example.com", RecordType.A, "192.0.2.1")
+        assert zone.soa.serial > before
+
+    def test_len_counts_records(self):
+        zone = Zone("example.com")
+        zone.add("example.com", RecordType.A, "192.0.2.1")
+        zone.add("www.example.com", RecordType.A, "192.0.2.2")
+        assert len(zone) == 2
+
+
+class TestZoneStore:
+    def test_create_and_get(self):
+        store = ZoneStore()
+        store.create("example.com")
+        assert store.get("example.com") is not None
+        assert "example.com" in store
+
+    def test_create_duplicate_rejected(self):
+        store = ZoneStore()
+        store.create("example.com")
+        with pytest.raises(ValueError):
+            store.create("example.com")
+
+    def test_get_or_create_idempotent(self):
+        store = ZoneStore()
+        a = store.get_or_create("example.com")
+        b = store.get_or_create("example.com")
+        assert a is b
+
+    def test_drop(self):
+        store = ZoneStore()
+        store.create("example.com")
+        assert store.drop("example.com")
+        assert not store.drop("example.com")
+        assert store.get("example.com") is None
+
+    def test_find_zone_for_longest_match(self):
+        store = ZoneStore()
+        store.create("example.com")
+        zone = store.find_zone_for("a.b.example.com")
+        assert zone is not None and zone.apex == "example.com"
+        assert store.find_zone_for("unrelated.net") is None
+
+    def test_enumerate_apexes_sorted(self):
+        store = ZoneStore()
+        store.create("b.com")
+        store.create("a.com")
+        assert store.enumerate_apexes() == ["a.com", "b.com"]

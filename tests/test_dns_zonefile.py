@@ -1,0 +1,97 @@
+"""Tests for master-file zone serialization (the CZDS analogue)."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.zone import Zone, ZoneStore
+from repro.dns.zonefile import (
+    extract_apexes,
+    parse_zone,
+    render_store,
+    render_zone,
+)
+
+
+@pytest.fixture()
+def zone():
+    zone = Zone("example.com")
+    zone.add("example.com", RecordType.NS, "ns1.dns.net")
+    zone.add("example.com", RecordType.NS, "ns2.dns.net")
+    zone.add("example.com", RecordType.A, "192.0.2.1")
+    zone.add("www.example.com", RecordType.CNAME, "edge.cdn.net")
+    zone.add("_acme-challenge.example.com", RecordType.TXT, "token-value", ttl=120)
+    zone.add("example.com", RecordType.CAA, '0 issue "letsencrypt.org"')
+    return zone
+
+
+class TestRender:
+    def test_directives_present(self, zone):
+        text = render_zone(zone)
+        assert text.startswith("$ORIGIN example.com.")
+        assert "$TTL 3600" in text
+        assert "SOA" in text
+
+    def test_apex_rendered_as_at(self, zone):
+        text = render_zone(zone)
+        assert "@\tIN\tNS\tns1.dns.net." in text
+
+    def test_relative_names(self, zone):
+        text = render_zone(zone)
+        assert "www\tIN\tCNAME\tedge.cdn.net." in text
+
+    def test_nondefault_ttl_emitted(self, zone):
+        text = render_zone(zone)
+        assert "120\tIN\tTXT" in text
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, zone):
+        parsed = parse_zone(render_zone(zone))
+        assert parsed.apex == "example.com"
+        original = {r.key() for r in zone.all_records()}
+        restored = {r.key() for r in parsed.all_records()}
+        assert restored == original
+
+    def test_ttl_preserved(self, zone):
+        parsed = parse_zone(render_zone(zone))
+        txt = parsed.lookup("_acme-challenge.example.com", RecordType.TXT)
+        assert txt[0].ttl == 120
+
+    def test_comments_and_blanks_tolerated(self):
+        text = (
+            "$ORIGIN foo.com.\n"
+            "$TTL 300\n"
+            "; a comment line\n"
+            "\n"
+            "@\tIN\tNS\tns1.host.net. ; trailing comment\n"
+        )
+        parsed = parse_zone(text)
+        assert parsed.lookup("foo.com", RecordType.NS)[0].rdata == "ns1.host.net"
+
+    def test_absolute_owner_names(self):
+        text = "$ORIGIN foo.com.\nbar.foo.com.\tIN\tA\t192.0.2.9\n"
+        parsed = parse_zone(text)
+        assert parsed.lookup("bar.foo.com", RecordType.A)
+
+    def test_record_before_origin_rejected(self):
+        with pytest.raises(ValueError, match="before \\$ORIGIN"):
+            parse_zone("@\tIN\tA\t192.0.2.1\n")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ValueError, match="unsupported type"):
+            parse_zone("$ORIGIN foo.com.\n@\tIN\tMX\t10 mail.foo.com.\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no records"):
+            parse_zone("; nothing here\n")
+
+
+class TestStoreDump:
+    def test_render_store_and_extract_apexes(self, zone):
+        store = ZoneStore()
+        a = store.create("alpha.com")
+        a.add("alpha.com", RecordType.A, "192.0.2.1")
+        b = store.create("beta.net")
+        b.add("beta.net", RecordType.NS, "ns1.x.net")
+        dump = render_store(store)
+        assert extract_apexes(dump) == ["alpha.com", "beta.net"]

@@ -1,0 +1,91 @@
+"""Tests for CA profiles and the CA registry."""
+
+import pytest
+
+from repro.ecosystem.cas import (
+    CLOUDFLARE_CA_ISSUER,
+    COMODO_CRUISELINER_ISSUER,
+    CaRegistry,
+    build_standard_cas,
+    build_standard_profiles,
+)
+from repro.pki.keys import KeyStore
+from repro.util.dates import day
+from repro.util.rng import RngStream
+
+T_2014 = day(2014, 6, 1)
+T_2017 = day(2017, 1, 1)
+T_2021 = day(2021, 6, 1)
+
+
+@pytest.fixture()
+def registry(key_store):
+    return build_standard_cas(key_store, established=day(2013, 3, 1))
+
+
+class TestProfiles:
+    def test_90_day_cas_self_impose_limits(self):
+        by_name = {p.name: p for p in build_standard_profiles()}
+        for name in ("Let's Encrypt X3", "cPanel, Inc. CA", "Google Trust Services CA 1C3"):
+            assert by_name[name].max_lifetime_days == 90
+            assert by_name[name].acme_automated
+
+    def test_share_schedule_eras(self):
+        by_name = {p.name: p for p in build_standard_profiles()}
+        le = by_name["Let's Encrypt X3"]
+        assert le.weight_on(T_2014) == 0.0  # pre-launch
+        assert le.weight_on(day(2016, 1, 1)) == 1.0
+        assert le.weight_on(day(2020, 1, 1)) == 7.0
+
+    def test_blocked_cas_exist_for_table7(self):
+        blocked = [p for p in build_standard_profiles() if p.crl_failure.blocked]
+        assert {p.operator for p in blocked} == {"Microsoft", "Visa"}
+
+
+class TestRegistry:
+    def test_all_cas_instantiated_with_publishers(self, registry):
+        for name in registry.all_names():
+            assert registry.publisher(name).ca is registry.ca(name)
+
+    def test_duplicate_profile_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_profile(build_standard_profiles()[0])
+
+    def test_cloudflare_issuers_present(self, registry):
+        assert registry.ca(COMODO_CRUISELINER_ISSUER) is not None
+        assert registry.ca(CLOUDFLARE_CA_ISSUER) is not None
+
+    def test_publisher_lookup_by_authority_key(self, registry):
+        ca = registry.ca("Sectigo RSA DV CA")
+        publisher = registry.publisher_for_authority_key(ca.authority_key_id)
+        assert publisher.ca is ca
+        assert registry.publisher_for_authority_key("nope") is None
+
+    def test_pick_pool_ca_respects_eras(self, registry):
+        rng = RngStream(1, "pick")
+        picks_2014 = {registry.pick_pool_ca(T_2014, rng).name for _ in range(60)}
+        assert "Let's Encrypt X3" not in picks_2014
+        picks_2017 = {registry.pick_pool_ca(T_2017, rng).name for _ in range(120)}
+        assert "Let's Encrypt X3" in picks_2017
+
+    def test_pick_acme_ca_only_automated(self, registry):
+        rng = RngStream(1, "pick-acme")
+        for _ in range(60):
+            ca = registry.pick_acme_ca(T_2021, rng)
+            assert registry.profile(ca.name).acme_automated
+
+    def test_pick_acme_before_acme_era_is_none(self, registry):
+        rng = RngStream(1, "pick-none")
+        assert registry.pick_acme_ca(T_2014, rng) is None
+
+    def test_failure_profiles_worst_wins_per_operator(self, registry):
+        # COMODO (operator Sectigo, default profile) must not mask the
+        # configured Sectigo rate limit.
+        profiles = registry.failure_profiles()
+        assert profiles["Sectigo"].rate_limit_probability > 0
+        assert profiles["Microsoft"].blocked
+
+    def test_disclosure_has_multiple_endpoints_for_big_cas(self, registry):
+        grouped = registry.disclosure.by_operator()
+        assert len(grouped["DigiCert"]) == 30
+        assert len(grouped["Microsoft"]) == 1

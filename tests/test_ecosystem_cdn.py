@@ -1,0 +1,116 @@
+"""Tests for the Cloudflare managed-TLS service."""
+
+import pytest
+
+from repro.core.detectors.managed_tls import is_cloudflare_managed_certificate
+from repro.dns.records import RecordType
+from repro.dns.zone import ZoneStore
+from repro.ecosystem.cas import build_standard_cas
+from repro.ecosystem.cdn import CLOUDFLARE_NAMESERVERS, CloudflareService
+from repro.ecosystem.timeline import DEFAULT_TIMELINE
+from repro.pki.keys import KeyStore
+from repro.util.dates import day
+from repro.util.rng import RngStream
+
+T_CRUISE = day(2018, 3, 1)  # cruise-liner era
+T_MODERN = day(2021, 3, 1)  # per-domain era
+
+
+@pytest.fixture()
+def service(key_store):
+    registry = build_standard_cas(key_store, established=day(2013, 3, 1))
+    zones = ZoneStore()
+    return CloudflareService(
+        registry, key_store, zones, DEFAULT_TIMELINE, RngStream(5, "cdn-test")
+    ), zones
+
+
+class TestEnrollment:
+    def test_cruiseliner_era_batches_customers(self, service):
+        svc, _zones = service
+        certs = []
+        for i in range(3):
+            certs.extend(svc.enroll(f"cust{i}.com", T_CRUISE))
+        # Every enrollment re-issues the shared batch certificate.
+        assert len(certs) == 3
+        last = certs[-1]
+        assert is_cloudflare_managed_certificate(last)
+        assert {"cust0.com", "cust1.com", "cust2.com"} <= last.fqdns()
+        assert last.issuer_name == "COMODO ECC DV Secure Server CA 2"
+
+    def test_per_domain_era_individual_certs(self, service):
+        svc, _zones = service
+        certs = svc.enroll("modern.com", T_MODERN)
+        assert len(certs) == 1
+        assert certs[0].issuer_name == "CloudFlare ECC CA-2"
+        assert "modern.com" in certs[0].fqdns()
+        assert is_cloudflare_managed_certificate(certs[0])
+
+    def test_enroll_sets_cloudflare_delegation(self, service):
+        svc, zones = service
+        svc.enroll("modern.com", T_MODERN)
+        ns = zones.get("modern.com").lookup("modern.com", RecordType.NS)
+        assert {r.rdata for r in ns} == set(CLOUDFLARE_NAMESERVERS)
+
+    def test_double_enroll_is_noop(self, service):
+        svc, _zones = service
+        svc.enroll("modern.com", T_MODERN)
+        assert svc.enroll("modern.com", T_MODERN + 1) == []
+
+    def test_batches_cap_at_32_members(self, service):
+        svc, _zones = service
+        for i in range(40):
+            svc.enroll(f"bulk{i}.com", T_CRUISE)
+        batches = svc._batches
+        assert len(batches) >= 2
+        assert all(len(b.members) <= 32 for b in batches)
+
+
+class TestDeparture:
+    def test_departure_changes_delegation_keeps_certs(self, service):
+        svc, zones = service
+        (cert,) = svc.enroll("leaver.com", T_MODERN)
+        svc.depart("leaver.com", T_MODERN + 100, "newhost.net")
+        ns = {r.rdata for r in zones.get("leaver.com").lookup("leaver.com", RecordType.NS)}
+        assert ns == {"ns1.newhost.net", "ns2.newhost.net"}
+        # The CDN still holds a valid certificate: the §5.3 scenario.
+        assert cert.is_valid_on(T_MODERN + 100)
+        assert svc.active_certificates_for("leaver.com", T_MODERN + 100) == [cert]
+        assert not svc.is_customer("leaver.com")
+
+    def test_departure_of_batch_member_reissues_batch(self, service):
+        svc, _zones = service
+        for i in range(3):
+            svc.enroll(f"cust{i}.com", T_CRUISE)
+        issued_before = len(svc.issued)
+        svc.depart("cust1.com", T_CRUISE + 30, "newhost.net")
+        assert len(svc.issued) == issued_before + 1
+        newest = svc.issued[-1]
+        assert "cust1.com" not in newest.fqdns()
+        assert "cust0.com" in newest.fqdns()
+
+    def test_depart_unknown_customer_raises(self, service):
+        svc, _zones = service
+        with pytest.raises(KeyError):
+            svc.depart("ghost.com", T_MODERN, "newhost.net")
+
+    def test_drop_dead_stops_renewals_without_dns_change(self, service):
+        svc, zones = service
+        svc.enroll("dead.com", T_MODERN)
+        svc.drop_dead("dead.com")
+        assert not svc.is_customer("dead.com")
+        assert svc.renew_due(T_MODERN + 300) == []  # nothing left to renew
+
+
+class TestRenewals:
+    def test_per_domain_renewal_near_expiry(self, service):
+        svc, _zones = service
+        (cert,) = svc.enroll("renewer.com", T_MODERN)
+        renewed = svc.renew_due(cert.not_after - 100)
+        assert len(renewed) == 1
+        assert renewed[0].not_before == cert.not_after - 100
+
+    def test_no_renewal_when_fresh(self, service):
+        svc, _zones = service
+        svc.enroll("fresh.com", T_MODERN)
+        assert svc.renew_due(T_MODERN + 10) == []

@@ -1,0 +1,80 @@
+"""Tests for dataset-bundle save/load roundtripping."""
+
+import pytest
+
+from repro import MeasurementPipeline
+from repro.core.stale import StalenessClass
+from repro.ecosystem.persistence import load_bundle, save_bundle
+
+
+@pytest.fixture(scope="module")
+def saved_dir(tmp_path_factory, small_world):
+    directory = tmp_path_factory.mktemp("bundle")
+    counts = save_bundle(small_world.to_bundle(), str(directory))
+    return str(directory), counts
+
+
+class TestSave:
+    def test_all_files_written(self, saved_dir):
+        directory, counts = saved_dir
+        assert counts["corpus.jsonl.gz"] > 0
+        assert counts["revocations.jsonl.gz"] > 0
+        assert counts["whois_pairs.jsonl.gz"] > 0
+        assert counts["dns_snapshots.jsonl.gz"] > 0
+
+
+class TestLoadRoundtrip:
+    def test_corpus_identical(self, saved_dir, small_world):
+        directory, _counts = saved_dir
+        restored = load_bundle(directory)
+        original_fps = sorted(
+            c.dedup_fingerprint() for c in small_world.to_bundle().corpus.certificates()
+        )
+        restored_fps = sorted(
+            c.dedup_fingerprint() for c in restored.corpus.certificates()
+        )
+        assert restored_fps == original_fps
+
+    def test_whois_pairs_identical(self, saved_dir, small_world):
+        directory, _counts = saved_dir
+        restored = load_bundle(directory)
+        assert sorted(restored.whois_creation_pairs) == sorted(
+            small_world.to_bundle().whois_creation_pairs
+        )
+
+    def test_windows_preserved(self, saved_dir, small_world):
+        directory, _counts = saved_dir
+        restored = load_bundle(directory)
+        assert restored.windows == small_world.to_bundle().windows
+
+    def test_snapshot_days_preserved(self, saved_dir, small_world):
+        directory, _counts = saved_dir
+        restored = load_bundle(directory)
+        assert restored.dns_snapshots.days() == small_world.dns_snapshots.days()
+
+
+class TestPipelineOnRestoredBundle:
+    def test_findings_match_original(self, saved_dir, small_world, pipeline_result):
+        """The full pipeline on a restored bundle reproduces the original
+        findings exactly (save/load is measurement-transparent)."""
+        directory, _counts = saved_dir
+        restored = load_bundle(directory)
+        result = MeasurementPipeline(
+            restored,
+            revocation_cutoff_day=small_world.config.timeline.revocation_cutoff,
+        ).run()
+        for cls in (
+            StalenessClass.REVOKED_ALL,
+            StalenessClass.KEY_COMPROMISE,
+            StalenessClass.REGISTRANT_CHANGE,
+            StalenessClass.MANAGED_TLS_DEPARTURE,
+        ):
+            original = {
+                (f.certificate.dedup_fingerprint(), f.affected_domain, f.invalidation_day)
+                for f in pipeline_result.findings.of_class(cls)
+            }
+            rebuilt = {
+                (f.certificate.dedup_fingerprint(), f.affected_domain, f.invalidation_day)
+                for f in result.findings.of_class(cls)
+            }
+            assert rebuilt == original, cls

@@ -1,0 +1,108 @@
+"""Tests for the world simulator (uses the shared small world)."""
+
+import pytest
+
+from repro.core.detectors.managed_tls import is_cloudflare_managed_certificate
+from repro.ecosystem import WorldConfig, WorldSimulator
+from repro.ecosystem.events import GroundTruthEventType
+from repro.util.dates import day, year_of
+
+
+class TestWorldShape:
+    def test_dataset_summary_nonempty(self, small_world):
+        summary = small_world.dataset_summary()
+        assert summary["ct_unique_certificates"] > 500
+        assert summary["registered_domains"] > 200
+        assert summary["dns_scan_days"] == 91
+        assert summary["crls_collected"] > 0
+        assert summary["whois_creation_pairs"] > 0
+
+    def test_corpus_smaller_than_raw_submissions(self, small_world):
+        # Precert/final dedup must collapse entries.
+        assert small_world.corpus.stats.duplicates_collapsed > 0
+
+    def test_cloudflare_managed_certs_exist(self, small_world):
+        managed = [
+            c for c in small_world.corpus.certificates()
+            if is_cloudflare_managed_certificate(c)
+        ]
+        assert managed
+
+    def test_cruiseliner_certs_have_many_sans(self, small_world):
+        cruise = [
+            c for c in small_world.corpus.certificates()
+            if c.issuer_name == "COMODO ECC DV Secure Server CA 2"
+        ]
+        assert cruise
+        assert max(len(c.san_dns_names) for c in cruise) > 10
+
+    def test_ninety_day_and_year_certs_both_present(self, small_world):
+        lifetimes = {c.lifetime_days for c in small_world.corpus.certificates()}
+        assert any(lt <= 90 for lt in lifetimes)
+        assert any(lt >= 300 for lt in lifetimes)
+
+    def test_post_2020_certs_respect_398_limit(self, small_world):
+        for cert in small_world.corpus.certificates():
+            if cert.not_before >= day(2020, 9, 1):
+                assert cert.lifetime_days <= 398
+
+    def test_whois_pairs_respect_window(self, small_world):
+        timeline = small_world.config.timeline
+        for _domain, creation in small_world.whois_creation_pairs:
+            assert creation <= timeline.whois_end
+
+    def test_ground_truth_covers_key_event_types(self, small_world):
+        kinds = {e.event_type for e in small_world.ground_truth}
+        for required in (
+            GroundTruthEventType.DOMAIN_REGISTERED,
+            GroundTruthEventType.DOMAIN_RE_REGISTERED,
+            GroundTruthEventType.DOMAIN_TRANSFERRED,
+            GroundTruthEventType.CERT_ISSUED,
+            GroundTruthEventType.CERT_REVOKED,
+            GroundTruthEventType.MANAGED_TLS_ENROLLED,
+            GroundTruthEventType.MANAGED_TLS_DEPARTED,
+            GroundTruthEventType.KEY_COMPROMISED,
+        ):
+            assert required in kinds, required
+
+    def test_godaddy_breach_fired(self, small_world):
+        breach = [
+            e for e in small_world.ground_truth
+            if e.party_id == "attacker:godaddy-breach"
+        ]
+        assert breach
+        assert breach[0].day == small_world.config.timeline.godaddy_breach_disclosure
+
+    def test_snapshots_cover_scan_window_densely(self, small_world):
+        days = small_world.dns_snapshots.days()
+        timeline = small_world.config.timeline
+        assert days[0] == timeline.dns_scan_start
+        assert days[-1] == timeline.dns_scan_end
+        assert len(days) == timeline.dns_scan_end - timeline.dns_scan_start + 1
+
+    def test_popularity_ranks_sparse_and_bounded(self, small_world):
+        ranks = small_world.popularity_ranks
+        total = small_world.dataset_summary()["registered_domains"]
+        assert 0 < len(ranks) < total  # only some domains enter the top lists
+        assert all(1 <= r <= 1_000_000 for r in ranks.values())
+
+    def test_malicious_ownership_spans_well_formed(self, small_world):
+        for domain, owner, start, end in small_world.malicious_ownership:
+            assert start <= end
+            assert owner.startswith("registrant-")
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(seed=99).scaled(0.02)
+        a = WorldSimulator(config).run()
+        b = WorldSimulator(config).run()
+        assert a.dataset_summary() == b.dataset_summary()
+        fps_a = sorted(c.dedup_fingerprint() for c in a.corpus.certificates())
+        fps_b = sorted(c.dedup_fingerprint() for c in b.corpus.certificates())
+        assert fps_a == fps_b
+
+    def test_different_seed_different_world(self):
+        a = WorldSimulator(WorldConfig(seed=1).scaled(0.02)).run()
+        b = WorldSimulator(WorldConfig(seed=2).scaled(0.02)).run()
+        assert a.dataset_summary() != b.dataset_summary()

@@ -1,0 +1,165 @@
+"""White-box tests for world-simulator mechanics.
+
+These poke the simulator's internal machinery directly (issuance routing,
+CT submission policy, breach scripting, WHOIS observability filtering) on a
+freshly constructed simulator without running the full decade.
+"""
+
+import pytest
+
+from repro.ecosystem import WorldConfig, WorldSimulator
+from repro.ecosystem.entities import HostingMode, Registrant
+from repro.util.dates import day
+
+
+@pytest.fixture()
+def sim():
+    return WorldSimulator(WorldConfig(seed=77).scaled(0.05))
+
+
+def register(sim, name, on_day, hosting=None, tls=True):
+    registrant = sim._fresh_registrant()
+    domain = sim._register_domain(name, registrant, on_day, is_re_registration=False)
+    if hosting is not None:
+        domain.hosting = hosting
+    domain.tls = tls
+    return domain
+
+
+class TestIssuanceRouting:
+    def test_registrar_managed_uses_godaddy(self, sim):
+        domain = register(sim, "shop.com", day(2021, 3, 1), HostingMode.REGISTRAR_MANAGED)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        assert certificate.issuer_name == "GoDaddy Secure CA - G2"
+
+    def test_hosting_platform_uses_cpanel(self, sim):
+        domain = register(sim, "blog.com", day(2021, 3, 1), HostingMode.HOSTING_PLATFORM)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        assert certificate.issuer_name == "cPanel, Inc. CA"
+        assert certificate.lifetime_days == 90
+
+    def test_acme_mode_picks_automated_ca(self, sim):
+        domain = register(sim, "auto.com", day(2021, 3, 1), HostingMode.SELF_ACME)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        profile = sim.ca_registry.profile(certificate.issuer_name)
+        assert profile.acme_automated
+
+    def test_acme_before_lets_encrypt_era_yields_nothing(self, sim):
+        domain = register(sim, "early.com", day(2014, 1, 1), HostingMode.SELF_ACME)
+        assert sim._issue_for(domain, day(2014, 1, 1)) is None
+
+    def test_managed_mode_key_owner_is_host(self, sim):
+        domain = register(sim, "plat.com", day(2021, 3, 1), HostingMode.HOSTING_PLATFORM)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        assert certificate.subject_key.owner_id.startswith("host:")
+
+    def test_self_mode_key_owner_is_registrant(self, sim):
+        domain = register(sim, "own.com", day(2021, 3, 1), HostingMode.SELF_MANUAL)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        assert certificate.subject_key.owner_id == domain.registrant_id
+
+    def test_issued_sans_cover_www(self, sim):
+        domain = register(sim, "pair.com", day(2021, 3, 1), HostingMode.SELF_MANUAL)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        assert certificate.fqdns() == frozenset({"pair.com", "www.pair.com"})
+
+
+class TestCtSubmission:
+    def test_accepting_logs_respect_sharding(self, sim):
+        from repro.util.dates import year_of
+
+        domain = register(sim, "logme.com", day(2021, 3, 1), HostingMode.SELF_MANUAL)
+        certificate = sim._issue_for(domain, day(2021, 3, 1))
+        logs = sim._accepting_logs(certificate, day(2021, 3, 1))
+        assert logs
+        for log in logs:
+            assert log.sharding.accepts(certificate)
+        expiry_year = str(year_of(certificate.not_after))
+        sharded = [log for log in logs if log.log_id.startswith(("argon", "yeti", "nimbus"))]
+        assert sharded
+        assert all(log.log_id.endswith(expiry_year) for log in sharded)
+
+    def test_pre_sharding_era_uses_unsharded_logs(self, sim):
+        domain = register(sim, "old.com", day(2014, 6, 1), HostingMode.SELF_MANUAL)
+        certificate = sim._issue_for(domain, day(2014, 6, 1))
+        logs = sim._accepting_logs(certificate, day(2014, 6, 1))
+        assert logs
+        assert all(not log.log_id.startswith(("argon", "yeti", "nimbus")) for log in logs)
+
+    def test_distrusted_log_not_used_after_cutoff(self, sim):
+        domain = register(sim, "sym.com", day(2019, 6, 1), HostingMode.SELF_MANUAL)
+        certificate = sim._issue_for(domain, day(2019, 6, 1))
+        logs = sim._accepting_logs(certificate, day(2019, 6, 1))
+        assert "symantec-vega" not in {log.log_id for log in logs}
+
+    def test_submission_creates_log_entries(self, sim):
+        before = sum(log.tree_size for log in sim.log_list.all_logs())
+        domain = register(sim, "entry.com", day(2021, 3, 1), HostingMode.SELF_MANUAL)
+        sim._issue_for(domain, day(2021, 3, 1))
+        after = sum(log.tree_size for log in sim.log_list.all_logs())
+        assert after > before
+
+
+class TestBreachScript:
+    def test_breach_targets_exposure_window_only(self, sim):
+        godaddy_day = sim.timeline.godaddy_breach_disclosure
+        inside = register(sim, "victim.com", godaddy_day - 30, HostingMode.REGISTRAR_MANAGED)
+        outside = register(sim, "safe.com", godaddy_day - 300, HostingMode.REGISTRAR_MANAGED)
+        cert_inside = sim._issue_for(inside, godaddy_day - 30)
+        cert_outside = sim._issue_for(outside, godaddy_day - 300)
+        sim._fire_godaddy_breach(godaddy_day)
+        revoked_serials = {entry[2] for entry in sim._revocations}
+        assert cert_inside.serial in revoked_serials
+        assert cert_outside.serial not in revoked_serials
+
+    def test_breach_grants_attacker_custody(self, sim):
+        godaddy_day = sim.timeline.godaddy_breach_disclosure
+        victim = register(sim, "victim2.com", godaddy_day - 10, HostingMode.REGISTRAR_MANAGED)
+        certificate = sim._issue_for(victim, godaddy_day - 10)
+        sim._fire_godaddy_breach(godaddy_day)
+        holders = sim.key_store.holders_on(certificate.subject_key, godaddy_day)
+        assert "attacker:godaddy-breach" in holders
+
+
+class TestWhoisObservability:
+    def test_pairs_exclude_pre_window_deletions(self, sim):
+        early = day(2014, 1, 1)
+        register(sim, "gone.com", early)
+        sim.registry.delete("gone.com", day(2015, 1, 1))  # before WHOIS window
+        register(sim, "kept.com", early)  # survives into the window
+        pairs = dict(sim._whois_pairs())
+        assert "gone.com" not in pairs
+        assert "kept.com" in pairs
+
+    def test_pairs_exclude_post_window_creations(self, sim):
+        late = sim.timeline.whois_end + 10
+        register(sim, "late.com", late)
+        assert "late.com" not in dict(sim._whois_pairs())
+
+
+class TestReasonReporting:
+    def test_lets_encrypt_kc_masked_before_july_2022(self, sim):
+        from repro.revocation.reasons import RevocationReason
+        from tests.conftest import make_cert
+
+        le_cert = make_cert(sans=("le.com",), serial=999_001,
+                            issuer="Let's Encrypt X3", not_before=day(2022, 1, 1),
+                            lifetime=90)
+        before = sim._adjust_reason_for_reporting(
+            le_cert, day(2022, 5, 1), RevocationReason.KEY_COMPROMISE
+        )
+        after = sim._adjust_reason_for_reporting(
+            le_cert, day(2022, 8, 1), RevocationReason.KEY_COMPROMISE
+        )
+        assert before is RevocationReason.SUPERSEDED
+        assert after is RevocationReason.KEY_COMPROMISE
+
+    def test_other_issuers_unaffected(self, sim):
+        from repro.revocation.reasons import RevocationReason
+        from tests.conftest import make_cert
+
+        cert = make_cert(sans=("x.com",), serial=999_002, issuer="Sectigo RSA DV CA",
+                         not_before=day(2022, 1, 1))
+        assert sim._adjust_reason_for_reporting(
+            cert, day(2022, 1, 5), RevocationReason.KEY_COMPROMISE
+        ) is RevocationReason.KEY_COMPROMISE

@@ -1,0 +1,52 @@
+"""Tests for the calendar anchors and era logic."""
+
+from repro.ecosystem.timeline import DEFAULT_TIMELINE, Timeline
+from repro.util.dates import day
+
+
+class TestWindows:
+    def test_ct_window_matches_paper(self):
+        assert DEFAULT_TIMELINE.ct_start == day(2013, 3, 1)
+        assert DEFAULT_TIMELINE.ct_end == day(2023, 5, 12)
+
+    def test_revocation_cutoff_is_13_months_before_crl_start(self):
+        # Paper §4.1: October 1, 2021 = 13 months prior to collection.
+        assert DEFAULT_TIMELINE.revocation_cutoff == day(2021, 10, 1)
+        assert DEFAULT_TIMELINE.crl_collection_start == day(2022, 11, 1)
+
+    def test_dns_scan_window_is_three_months(self):
+        span = DEFAULT_TIMELINE.dns_scan_end - DEFAULT_TIMELINE.dns_scan_start
+        assert 88 <= span <= 92
+
+    def test_window_predicates(self):
+        t = DEFAULT_TIMELINE
+        assert t.in_dns_scan_window(day(2022, 9, 15))
+        assert not t.in_dns_scan_window(day(2022, 11, 1))
+        assert t.in_crl_window(day(2023, 1, 1))
+        assert not t.in_crl_window(day(2023, 6, 1))
+        assert t.in_whois_window(day(2018, 1, 1))
+        assert not t.in_whois_window(day(2022, 1, 1))
+
+
+class TestCruiselinerEra:
+    def test_before_era_zero(self):
+        assert DEFAULT_TIMELINE.cruiseliner_share(day(2016, 1, 1)) == 0.0
+
+    def test_peak_era_full(self):
+        assert DEFAULT_TIMELINE.cruiseliner_share(day(2018, 6, 1)) == 1.0
+
+    def test_phaseout_ramps_down(self):
+        mid = DEFAULT_TIMELINE.cruiseliner_phaseout_start + 90
+        share = DEFAULT_TIMELINE.cruiseliner_share(mid)
+        assert 0.0 < share < 1.0
+
+    def test_after_phaseout_zero(self):
+        assert DEFAULT_TIMELINE.cruiseliner_share(day(2020, 1, 1)) == 0.0
+
+    def test_breach_exposure_window_ordering(self):
+        t = DEFAULT_TIMELINE
+        assert (
+            t.godaddy_breach_exposure_start
+            < t.godaddy_breach_disclosure
+            < t.godaddy_breach_revocation_end
+        )

@@ -1,0 +1,78 @@
+"""Tests for the world configuration schedules and scaling."""
+
+import pytest
+
+from repro.ecosystem.entities import HostingMode
+from repro.ecosystem.workload import WorldConfig
+from repro.util.dates import day
+
+
+class TestSchedules:
+    def test_registration_rate_steps(self):
+        config = WorldConfig()
+        assert config.registration_rate(day(2014, 1, 1)) == 2.0
+        assert config.registration_rate(day(2019, 1, 1)) == 6.0
+        assert config.registration_rate(day(2012, 1, 1)) == 0.0  # pre-schedule
+
+    def test_tls_adoption_grows(self):
+        config = WorldConfig()
+        assert (
+            config.tls_adoption(day(2013, 6, 1))
+            < config.tls_adoption(day(2017, 1, 1))
+            < config.tls_adoption(day(2021, 1, 1))
+        )
+
+    def test_key_compromise_rate_rises(self):
+        config = WorldConfig()
+        assert config.key_compromise_rate(day(2023, 2, 1)) > config.key_compromise_rate(
+            day(2020, 1, 1)
+        )
+
+    def test_hosting_mix_evolves_toward_automation(self):
+        config = WorldConfig()
+        early = config.hosting_mix(day(2014, 1, 1))
+        late = config.hosting_mix(day(2020, 1, 1))
+        assert HostingMode.SELF_ACME not in early
+        assert late[HostingMode.SELF_ACME] > late[HostingMode.SELF_MANUAL]
+
+    def test_managed_modes_flag(self):
+        assert HostingMode.CLOUDFLARE_MANAGED.is_managed_tls
+        assert HostingMode.HOSTING_PLATFORM.is_managed_tls
+        assert not HostingMode.SELF_ACME.is_managed_tls
+        assert not HostingMode.SELF_MANUAL.is_managed_tls
+
+
+class TestScaling:
+    def test_scaled_multiplies_registrations(self):
+        base = WorldConfig()
+        half = base.scaled(0.5)
+        d = day(2019, 1, 1)
+        assert half.registration_rate(d) == pytest.approx(0.5 * base.registration_rate(d))
+
+    def test_scaled_multiplies_event_rates(self):
+        base = WorldConfig()
+        half = base.scaled(0.5)
+        d = day(2023, 1, 1)
+        assert half.key_compromise_rate(d) == pytest.approx(
+            0.5 * base.key_compromise_rate(d)
+        )
+        assert half.other_revocation_rate(d) == pytest.approx(
+            0.5 * base.other_revocation_rate(d)
+        )
+
+    def test_scaled_composes(self):
+        quarter = WorldConfig().scaled(0.5).scaled(0.5)
+        d = day(2019, 1, 1)
+        assert quarter.registration_rate(d) == pytest.approx(
+            0.25 * WorldConfig().registration_rate(d)
+        )
+        assert quarter.event_rate_factor == pytest.approx(0.25)
+
+    def test_scaled_preserves_other_fields(self):
+        scaled = WorldConfig(seed=5).scaled(0.1)
+        assert scaled.seed == 5
+        assert scaled.renew_probability == WorldConfig().renew_probability
+
+    def test_config_frozen(self):
+        with pytest.raises(Exception):
+            WorldConfig().seed = 1

@@ -1,0 +1,33 @@
+"""Package hygiene: every module imports, every export resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_dunder_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", ()):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_every_public_module_has_docstring():
+    for module_name in _all_modules():
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"

@@ -1,0 +1,95 @@
+"""Tests for the ACME order flow and auto-renewal client."""
+
+import pytest
+
+from repro.dns.zone import ZoneStore
+from repro.pki.acme import AcmeClient, AcmeServer, OrderStatus
+from repro.pki.ca import CertificateAuthority, IssuanceError, IssuancePolicy
+from repro.pki.keys import KeyStore
+from repro.pki.validation import ChallengeType, DvValidator
+from repro.util.dates import day
+
+T0 = day(2021, 3, 1)
+
+
+@pytest.fixture()
+def env(key_store):
+    zones = ZoneStore()
+    zones.create("example.com")
+    validator = DvValidator(zones, ca_domain="acmeca.example")
+    ca = CertificateAuthority(
+        "ACME CA",
+        key_store,
+        policy=IssuancePolicy(max_lifetime_days=90, default_lifetime_days=90),
+    )
+    server = AcmeServer(ca, validator)
+    account = server.register_account("admin@example.com", T0)
+    client = AcmeClient(server, account, zones, key_store, owner_id="subscriber")
+    return zones, server, account, client, key_store
+
+
+class TestOrderFlow:
+    def test_full_obtain_flow(self, env):
+        _zones, _server, _account, client, _ks = env
+        cert = client.obtain(["example.com", "www.example.com"], T0)
+        assert cert.san_dns_names == ("example.com", "www.example.com")
+        assert cert.lifetime_days == 90
+
+    def test_order_starts_pending_with_authorizations(self, env):
+        _zones, server, account, _client, _ks = env
+        order = server.new_order(account, ["example.com", "www.example.com"])
+        assert order.status is OrderStatus.PENDING
+        assert [a.domain for a in order.authorizations] == [
+            "example.com",
+            "www.example.com",
+        ]
+
+    def test_unprovisioned_challenge_invalidates_order(self, env):
+        _zones, server, account, _client, _ks = env
+        order = server.new_order(account, ["example.com"])
+        status = server.attempt_challenges(order, T0)
+        assert status is OrderStatus.INVALID
+        assert order.error
+
+    def test_finalize_requires_ready(self, env):
+        _zones, server, account, _client, key_store = env
+        order = server.new_order(account, ["example.com"])
+        key = key_store.generate("subscriber", T0)
+        with pytest.raises(IssuanceError, match="not ready"):
+            server.finalize(order, key, T0)
+
+    def test_unknown_account_rejected(self, env):
+        from repro.pki.acme import AcmeAccount
+
+        _zones, server, _account, _client, _ks = env
+        ghost = AcmeAccount(account_id="acct-ghost", contact="x", created_on=T0)
+        with pytest.raises(KeyError):
+            server.new_order(ghost, ["example.com"])
+
+    def test_wildcard_order_validates_base_domain(self, env):
+        _zones, _server, _account, client, _ks = env
+        cert = client.obtain(["*.example.com"], T0)
+        assert cert.san_dns_names == ("*.example.com",)
+
+    def test_challenge_records_cleaned_after_issuance(self, env):
+        zones, _server, _account, client, _ks = env
+        client.obtain(["example.com"], T0)
+        from repro.dns.records import RecordType
+
+        zone = zones.get("example.com")
+        assert zone.lookup("_acme-challenge.example.com", RecordType.TXT) == []
+
+    def test_key_reuse_across_renewals(self, env):
+        _zones, _server, _account, client, key_store = env
+        first = client.obtain(["example.com"], T0)
+        renewed = client.obtain(["example.com"], T0 + 60, reuse_key=first.subject_key)
+        assert renewed.subject_key is first.subject_key
+        assert renewed.serial != first.serial
+
+
+class TestRenewDue:
+    def test_renewal_at_two_thirds(self, env):
+        _zones, _server, _account, client, _ks = env
+        cert = client.obtain(["example.com"], T0)
+        assert not AcmeClient.renew_due(cert, T0 + 59)
+        assert AcmeClient.renew_due(cert, T0 + 60)

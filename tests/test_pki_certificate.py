@@ -1,0 +1,126 @@
+"""Tests for the certificate model, dedup fingerprints, and lifetime policy."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pki.certificate import (
+    MAX_LIFETIME_398,
+    MAX_LIFETIME_825,
+    lifetime_limit_on,
+)
+from repro.util.dates import day
+from tests.conftest import make_cert, make_key
+
+T0 = day(2021, 1, 1)
+
+
+class TestValidity:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            make_cert(not_before=T0, not_after=T0 - 1)
+
+    def test_lifetime_days(self):
+        assert make_cert(not_before=T0, lifetime=90).lifetime_days == 90
+
+    def test_is_valid_on_boundaries(self):
+        cert = make_cert(not_before=T0, lifetime=10)
+        assert cert.is_valid_on(T0)
+        assert cert.is_valid_on(T0 + 10)
+        assert not cert.is_valid_on(T0 - 1)
+        assert not cert.is_valid_on(T0 + 11)
+        assert cert.is_expired_on(T0 + 11)
+
+    def test_leaf_requires_san(self):
+        with pytest.raises(ValueError):
+            make_cert(sans=())
+
+
+class TestNames:
+    def test_san_normalization(self):
+        cert = make_cert(sans=("Example.COM", "WWW.example.com"))
+        assert cert.san_dns_names == ("example.com", "www.example.com")
+
+    def test_covers_name_exact_and_wildcard(self):
+        cert = make_cert(sans=("example.com", "*.example.com"))
+        assert cert.covers_name("example.com")
+        assert cert.covers_name("www.example.com")
+        assert not cert.covers_name("a.b.example.com")
+        assert not cert.covers_name("other.com")
+
+    def test_fqdns_strips_wildcards(self):
+        cert = make_cert(sans=("*.example.com", "example.com", "foo.net"))
+        assert cert.fqdns() == frozenset({"example.com", "foo.net"})
+
+    def test_e2lds_groups_by_registrable(self):
+        cert = make_cert(sans=("a.foo.com", "b.foo.com", "x.bar.co.uk"))
+        assert cert.e2lds() == frozenset({"foo.com", "bar.co.uk"})
+
+
+class TestDedupFingerprint:
+    def test_precert_and_final_share_fingerprint(self):
+        cert = make_cert()
+        precert = cert.as_precertificate()
+        final = cert.with_scts(["sct-1", "sct-2"])
+        assert precert.dedup_fingerprint() == final.dedup_fingerprint()
+        assert precert.is_precertificate and not final.is_precertificate
+        assert final.scts == ("sct-1", "sct-2")
+
+    def test_different_serials_different_fingerprints(self):
+        key = make_key()
+        a = make_cert(serial=1, key=key)
+        b = make_cert(serial=2, key=key)
+        assert a.dedup_fingerprint() != b.dedup_fingerprint()
+
+    def test_different_validity_different_fingerprints(self):
+        key = make_key()
+        a = make_cert(serial=7, key=key, not_before=T0)
+        b = make_cert(serial=7, key=key, not_before=T0 + 1, lifetime=364)
+        assert a.dedup_fingerprint() != b.dedup_fingerprint()
+
+    def test_fingerprint_memoized(self):
+        cert = make_cert()
+        assert cert.dedup_fingerprint() is cert.dedup_fingerprint()
+
+
+class TestRevocationKey:
+    def test_revocation_key_shape(self):
+        cert = make_cert(authority_key_id="akid-x", serial=99)
+        assert cert.revocation_key() == ("akid-x", 99)
+
+
+class TestClampLifetime:
+    def test_clamp_shortens_long_cert(self):
+        cert = make_cert(lifetime=365)
+        clamped = cert.clamp_lifetime(90)
+        assert clamped.lifetime_days == 90
+        assert clamped.not_before == cert.not_before
+
+    def test_clamp_noop_for_short_cert(self):
+        cert = make_cert(lifetime=60)
+        assert cert.clamp_lifetime(90) is cert
+
+    @given(st.integers(1, 900), st.integers(1, 900))
+    def test_clamp_never_extends(self, lifetime, cap):
+        cert = make_cert(lifetime=lifetime)
+        clamped = cert.clamp_lifetime(cap)
+        assert clamped.lifetime_days <= min(lifetime, cap) or clamped.lifetime_days == min(
+            lifetime, cap
+        )
+        assert clamped.lifetime_days == min(lifetime, cap)
+
+
+class TestLifetimeLimits:
+    def test_pre_2018_legacy_limit(self):
+        assert lifetime_limit_on(day(2016, 1, 1)) > MAX_LIFETIME_825
+
+    def test_825_era(self):
+        assert lifetime_limit_on(day(2019, 1, 1)) == MAX_LIFETIME_825
+
+    def test_398_era(self):
+        assert lifetime_limit_on(day(2020, 9, 1)) == MAX_LIFETIME_398
+        assert lifetime_limit_on(day(2023, 1, 1)) == MAX_LIFETIME_398
+
+    def test_boundary_day(self):
+        assert lifetime_limit_on(day(2020, 8, 31)) == MAX_LIFETIME_825

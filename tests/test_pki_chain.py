@@ -1,0 +1,80 @@
+"""Tests for chain building and client-side verification."""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.pki.chain import ChainError, build_chain, verify_chain
+from repro.pki.keys import KeyStore
+from repro.util.dates import day
+
+T0 = day(2021, 1, 1)
+
+
+@pytest.fixture()
+def hierarchy(key_store):
+    root = CertificateAuthority(
+        "Root CA", key_store, policy=IssuancePolicy(require_validation=False)
+    )
+    intermediate = CertificateAuthority(
+        "Intermediate CA",
+        key_store,
+        policy=IssuancePolicy(require_validation=False),
+        parent=root,
+    )
+    key = key_store.generate("sub", T0)
+    leaf = intermediate.issue(["example.com", "*.example.com"], key, T0)
+    return root, intermediate, leaf
+
+
+class TestBuildChain:
+    def test_builds_to_root(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        path = build_chain(leaf, [root, intermediate])
+        assert path == [intermediate, root]
+
+    def test_unknown_issuer(self, hierarchy, key_store):
+        root, _intermediate, leaf = hierarchy
+        with pytest.raises(ChainError, match="no authority"):
+            build_chain(leaf, [root])
+
+
+class TestVerifyChain:
+    def test_happy_path(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        path = verify_chain(leaf, [root, intermediate], "www.example.com", T0 + 10)
+        assert path[-1] is root
+
+    def test_expired_leaf(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        with pytest.raises(ChainError, match="not valid"):
+            verify_chain(leaf, [root, intermediate], "example.com", T0 + 9999)
+
+    def test_hostname_mismatch(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        with pytest.raises(ChainError, match="does not cover"):
+            verify_chain(leaf, [root, intermediate], "other.net", T0 + 1)
+
+    def test_wildcard_does_not_cover_two_levels(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        with pytest.raises(ChainError, match="does not cover"):
+            verify_chain(leaf, [root, intermediate], "a.b.example.com", T0 + 1)
+
+    def test_untrusted_root(self, hierarchy, key_store):
+        root, intermediate, leaf = hierarchy
+        other_root = CertificateAuthority(
+            "Other Root", key_store, policy=IssuancePolicy(require_validation=False)
+        )
+        with pytest.raises(ChainError, match="not trusted"):
+            verify_chain(
+                leaf,
+                [root, intermediate],
+                "example.com",
+                T0 + 1,
+                trusted_roots=[other_root],
+            )
+
+    def test_trusted_root_accepted(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        verify_chain(
+            leaf, [root, intermediate], "example.com", T0 + 1, trusted_roots=[root]
+        )

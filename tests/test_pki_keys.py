@@ -1,0 +1,69 @@
+"""Tests for keypairs and custody tracking."""
+
+from repro.pki.keys import KeyAlgorithm, KeyStore
+from repro.util.dates import day
+
+T0 = day(2020, 1, 1)
+
+
+class TestKeyPair:
+    def test_unique_ids(self, key_store):
+        a = key_store.generate("alice", T0)
+        b = key_store.generate("alice", T0)
+        assert a.key_id != b.key_id
+
+    def test_fingerprint_deterministic_per_key(self, key_store):
+        key = key_store.generate("alice", T0)
+        assert key.spki_fingerprint == key.spki_fingerprint
+        assert len(key.spki_fingerprint) == 40
+
+    def test_fingerprints_differ_between_keys(self, key_store):
+        a = key_store.generate("alice", T0)
+        b = key_store.generate("alice", T0)
+        assert a.spki_fingerprint != b.spki_fingerprint
+
+    def test_algorithm_choice(self, key_store):
+        key = key_store.generate("alice", T0, KeyAlgorithm.RSA_2048)
+        assert key.algorithm is KeyAlgorithm.RSA_2048
+
+
+class TestCustody:
+    def test_generator_holds_initially(self, key_store):
+        key = key_store.generate("alice", T0)
+        assert key_store.holders_on(key, T0) == frozenset({"alice"})
+
+    def test_nobody_holds_before_generation(self, key_store):
+        key = key_store.generate("alice", T0)
+        assert key_store.holders_on(key, T0 - 1) == frozenset()
+
+    def test_grant_adds_holder(self, key_store):
+        key = key_store.generate("alice", T0)
+        key_store.grant(key, "cdn", T0 + 5, reason="upload")
+        assert key_store.holders_on(key, T0 + 5) == frozenset({"alice", "cdn"})
+        assert key_store.holders_on(key, T0 + 4) == frozenset({"alice"})
+
+    def test_revoke_custody_removes_holder(self, key_store):
+        key = key_store.generate("alice", T0)
+        key_store.grant(key, "cdn", T0 + 5)
+        key_store.revoke_custody(key, "cdn", T0 + 10)
+        assert key_store.holders_on(key, T0 + 10) == frozenset({"alice"})
+
+    def test_out_of_order_events_sorted_by_day(self, key_store):
+        key = key_store.generate("alice", T0)
+        key_store.grant(key, "late", T0 + 20)
+        key_store.grant(key, "early", T0 + 2)
+        assert key_store.holders_on(key, T0 + 3) == frozenset({"alice", "early"})
+
+    def test_is_compromised_on(self, key_store):
+        key = key_store.generate("alice", T0)
+        key_store.grant(key, "cdn", T0 + 1)  # authorized third party
+        key_store.grant(key, "attacker", T0 + 10, reason="breach")
+        assert not key_store.is_compromised_on(key, ["alice", "cdn"], T0 + 5)
+        assert key_store.is_compromised_on(key, ["alice", "cdn"], T0 + 10)
+
+    def test_custody_history(self, key_store):
+        key = key_store.generate("alice", T0)
+        key_store.grant(key, "cdn", T0 + 1)
+        history = key_store.custody_history(key)
+        assert [e.party_id for e in history] == ["alice", "cdn"]
+        assert history[0].reason == "generated"

@@ -1,0 +1,148 @@
+"""Tests for the simulated TLS handshake and the interception threat model."""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.pki.keys import KeyStore
+from repro.pki.tls import (
+    HandshakeStatus,
+    Network,
+    TlsClient,
+    TlsServer,
+)
+from repro.revocation.checking import RevocationChecker, RevocationPolicy
+from repro.revocation.ocsp import OcspResponder
+from repro.revocation.publisher import CaCrlPublisher
+from repro.revocation.reasons import RevocationReason
+from repro.util.dates import day
+
+T0 = day(2022, 1, 1)
+
+
+@pytest.fixture()
+def pki(key_store):
+    ca = CertificateAuthority(
+        "TLS Test CA", key_store, policy=IssuancePolicy(require_validation=False)
+    )
+    owner_key = key_store.generate("server:legit", T0)
+    certificate = ca.issue(["example.com", "*.example.com"], owner_key, T0)
+    publisher = CaCrlPublisher(ca)
+    responder = OcspResponder(publisher)
+    return ca, certificate, publisher, responder, key_store
+
+
+class TestHandshake:
+    def test_legitimate_server_authenticates(self, pki):
+        ca, certificate, _pub, _resp, key_store = pki
+        server = TlsServer("server:legit", certificate, key_store)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = client.handshake("www.example.com", server, T0 + 10)
+        assert result.authenticated
+        assert result.status is HandshakeStatus.OK
+
+    def test_server_without_key_fails_possession_proof(self, pki):
+        ca, certificate, _pub, _resp, key_store = pki
+        imposter = TlsServer("server:imposter", certificate, key_store)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = client.handshake("example.com", imposter, T0 + 10)
+        assert result.status is HandshakeStatus.SERVER_LACKS_KEY
+
+    def test_expired_certificate_rejected(self, pki):
+        ca, certificate, _pub, _resp, key_store = pki
+        server = TlsServer("server:legit", certificate, key_store)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = client.handshake("example.com", server, certificate.not_after + 1)
+        assert result.status is HandshakeStatus.CHAIN_INVALID
+
+    def test_wrong_hostname_rejected(self, pki):
+        ca, certificate, _pub, _resp, key_store = pki
+        server = TlsServer("server:legit", certificate, key_store)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = client.handshake("other.net", server, T0 + 10)
+        assert result.status is HandshakeStatus.CHAIN_INVALID
+
+    def test_revoked_certificate_rejected_by_checking_client(self, pki):
+        ca, certificate, publisher, responder, key_store = pki
+        publisher.revoke(certificate, T0 + 5, RevocationReason.KEY_COMPROMISE)
+        server = TlsServer("server:legit", certificate, key_store)
+        checking = TlsClient(
+            [ca], trusted_roots=[ca],
+            revocation=RevocationChecker(RevocationPolicy.SOFT_FAIL, responder),
+        )
+        result = checking.handshake("example.com", server, T0 + 10)
+        assert result.status is HandshakeStatus.REVOKED
+
+
+class TestInterceptionThreatModel:
+    """The paper's scenario, end to end: a third party with a stale key
+    impersonates the domain against differently-configured clients."""
+
+    def _stale_world(self, pki):
+        """The domain's owner changed; the OLD owner's cert is unexpired
+        and the OLD owner mounts an on-path interception."""
+        ca, stale_cert, publisher, responder, key_store = pki
+        # New owner stands up a fresh certificate and serves the site.
+        new_key = key_store.generate("server:newowner", T0 + 50)
+        new_cert = ca.issue(["example.com"], new_key, T0 + 50)
+        legit = TlsServer("server:newowner", new_cert, key_store)
+        attacker = TlsServer("server:legit", stale_cert, key_store)  # prior owner
+        network = Network()
+        network.route("example.com", legit)
+        return ca, stale_cert, publisher, responder, key_store, network, attacker
+
+    def test_no_interception_normal_traffic(self, pki):
+        ca, _stale, _pub, _resp, key_store, network, _attacker = self._stale_world(pki)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = network.connect(client, "example.com", T0 + 60)
+        assert result.authenticated
+        assert result.server_id == "server:newowner"
+
+    def test_stale_cert_interception_succeeds_against_chrome_like(self, pki):
+        ca, _stale, _pub, _resp, key_store, network, attacker = self._stale_world(pki)
+        network.intercept("example.com", attacker)
+        client = TlsClient([ca], trusted_roots=[ca])  # no revocation checking
+        result = network.connect(client, "example.com", T0 + 60)
+        assert result.authenticated  # the client believes the prior owner!
+        assert result.server_id == "server:legit"
+
+    def test_revocation_plus_soft_fail_still_intercepted(self, pki):
+        ca, stale, publisher, responder, key_store, network, attacker = self._stale_world(pki)
+        publisher.revoke(stale, T0 + 55, RevocationReason.KEY_COMPROMISE)
+        network.intercept("example.com", attacker, drop_revocation=True)
+        firefox = TlsClient(
+            [ca], trusted_roots=[ca],
+            revocation=RevocationChecker(RevocationPolicy.SOFT_FAIL, responder),
+        )
+        result = network.connect(firefox, "example.com", T0 + 60)
+        assert result.authenticated  # soft-fail bypassed (paper §2.4)
+
+    def test_hard_fail_client_blocks_interception(self, pki):
+        ca, stale, publisher, responder, key_store, network, attacker = self._stale_world(pki)
+        publisher.revoke(stale, T0 + 55, RevocationReason.KEY_COMPROMISE)
+        network.intercept("example.com", attacker, drop_revocation=True)
+        hard = TlsClient(
+            [ca], trusted_roots=[ca],
+            revocation=RevocationChecker(RevocationPolicy.HARD_FAIL, responder),
+        )
+        result = network.connect(hard, "example.com", T0 + 60)
+        assert result.status is HandshakeStatus.REVOCATION_UNAVAILABLE
+
+    def test_expiration_ends_the_exposure(self, pki):
+        ca, stale, _pub, _resp, key_store, network, attacker = self._stale_world(pki)
+        network.intercept("example.com", attacker)
+        client = TlsClient([ca], trusted_roots=[ca])
+        result = network.connect(client, "example.com", stale.not_after + 1)
+        assert result.status is HandshakeStatus.CHAIN_INVALID
+
+    def test_no_route(self, pki):
+        ca, *_rest = pki
+        network = Network()
+        client = TlsClient([ca], trusted_roots=[ca])
+        assert network.connect(client, "ghost.net", T0).status is HandshakeStatus.NO_ROUTE
+
+    def test_clear_intercept_restores_route(self, pki):
+        ca, _stale, _pub, _resp, key_store, network, attacker = self._stale_world(pki)
+        network.intercept("example.com", attacker)
+        network.clear_intercept("example.com")
+        client = TlsClient([ca], trusted_roots=[ca])
+        assert network.connect(client, "example.com", T0 + 60).server_id == "server:newowner"

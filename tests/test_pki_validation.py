@@ -1,0 +1,140 @@
+"""Tests for DV challenges, CAA, and validation reuse."""
+
+import pytest
+
+from repro.dns.records import RecordType
+from repro.dns.zone import ZoneStore
+from repro.pki.validation import (
+    VALIDATION_REUSE_DAYS,
+    ChallengeType,
+    DvChallenge,
+    DvValidator,
+    ValidationError,
+)
+from repro.util.dates import day
+
+T0 = day(2021, 5, 1)
+
+
+@pytest.fixture()
+def zones():
+    store = ZoneStore()
+    store.create("example.com")
+    return store
+
+
+@pytest.fixture()
+def validator(zones):
+    return DvValidator(zones, ca_domain="testca.example")
+
+
+def challenge(ctype=ChallengeType.DNS_01, domain="example.com", account="acct-1"):
+    return DvChallenge(domain=domain, challenge_type=ctype, nonce="n-1", account_id=account)
+
+
+class TestDns01:
+    def test_success(self, zones, validator):
+        ch = challenge()
+        zones.get("example.com").add(ch.dns_record_name, RecordType.TXT, ch.key_authorization)
+        result = validator.validate(ch, T0)
+        assert result.domain == "example.com"
+        assert not result.reused
+
+    def test_missing_record_fails(self, validator):
+        with pytest.raises(ValidationError, match="dns-01"):
+            validator.validate(challenge(), T0)
+
+    def test_wrong_token_fails(self, zones, validator):
+        ch = challenge()
+        zones.get("example.com").add(ch.dns_record_name, RecordType.TXT, "wrong-token")
+        with pytest.raises(ValidationError, match="key authorization"):
+            validator.validate(ch, T0)
+
+
+class TestHttp01:
+    def test_success(self, validator):
+        ch = challenge(ChallengeType.HTTP_01)
+        validator.web.provision_http("example.com", ch.http_path, ch.key_authorization)
+        assert validator.validate(ch, T0).challenge_type is ChallengeType.HTTP_01
+
+    def test_missing_file_fails(self, validator):
+        with pytest.raises(ValidationError, match="http-01"):
+            validator.validate(challenge(ChallengeType.HTTP_01), T0)
+
+    def test_clear_domain_removes_provisioning(self, validator):
+        ch = challenge(ChallengeType.HTTP_01)
+        validator.web.provision_http("example.com", ch.http_path, ch.key_authorization)
+        validator.web.clear_domain("example.com")
+        with pytest.raises(ValidationError):
+            validator.validate(ch, T0)
+
+
+class TestTlsAlpn01:
+    def test_success(self, validator):
+        ch = challenge(ChallengeType.TLS_ALPN_01)
+        validator.web.provision_alpn("example.com", ch.key_authorization)
+        assert validator.validate(ch, T0).challenge_type is ChallengeType.TLS_ALPN_01
+
+    def test_token_mismatch_fails(self, validator):
+        ch = challenge(ChallengeType.TLS_ALPN_01)
+        validator.web.provision_alpn("example.com", "bad")
+        with pytest.raises(ValidationError, match="alpn"):
+            validator.validate(ch, T0)
+
+
+class TestCaa:
+    def test_caa_forbids_other_ca(self, zones, validator):
+        zones.get("example.com").add(
+            "example.com", RecordType.CAA, '0 issue "othertca.example"'
+        )
+        with pytest.raises(ValidationError, match="CAA"):
+            validator.validate(challenge(), T0)
+
+    def test_caa_allows_named_ca(self, zones, validator):
+        zones.get("example.com").add(
+            "example.com", RecordType.CAA, '0 issue "testca.example"'
+        )
+        ch = challenge()
+        zones.get("example.com").add(ch.dns_record_name, RecordType.TXT, ch.key_authorization)
+        validator.validate(ch, T0)
+
+    def test_caa_inherited_from_parent(self, zones, validator):
+        zones.get("example.com").add(
+            "example.com", RecordType.CAA, '0 issue "othertca.example"'
+        )
+        ch = challenge(domain="sub.example.com")
+        with pytest.raises(ValidationError, match="CAA"):
+            validator.validate(ch, T0)
+
+
+class TestValidationReuse:
+    def _validate_once(self, zones, validator, on_day):
+        ch = challenge()
+        zones.get("example.com").add(ch.dns_record_name, RecordType.TXT, ch.key_authorization)
+        return validator.validate(ch, on_day)
+
+    def test_reuse_within_window(self, zones, validator):
+        self._validate_once(zones, validator, T0)
+        zones.get("example.com").remove("_acme-challenge.example.com", RecordType.TXT)
+        result = validator.validate(challenge(), T0 + 100)
+        assert result.reused
+        assert result.validated_on == T0
+
+    def test_reuse_expires_after_398_days(self, zones, validator):
+        self._validate_once(zones, validator, T0)
+        zones.get("example.com").remove("_acme-challenge.example.com", RecordType.TXT)
+        with pytest.raises(ValidationError):
+            validator.validate(challenge(), T0 + VALIDATION_REUSE_DAYS + 1)
+
+    def test_reuse_scoped_to_account(self, zones, validator):
+        self._validate_once(zones, validator, T0)
+        zones.get("example.com").remove("_acme-challenge.example.com", RecordType.TXT)
+        with pytest.raises(ValidationError):
+            validator.validate(challenge(account="acct-other"), T0 + 1)
+
+    def test_forget_reuse(self, zones, validator):
+        self._validate_once(zones, validator, T0)
+        validator.forget_reuse("acct-1", "example.com")
+        zones.get("example.com").remove("_acme-challenge.example.com", RecordType.TXT)
+        with pytest.raises(ValidationError):
+            validator.validate(challenge(), T0 + 1)

@@ -1,0 +1,64 @@
+"""Tests for top-list samples and min-rank lookups."""
+
+import pytest
+
+from repro.popularity.alexa import (
+    BIANNUAL_SAMPLE_DAYS,
+    PopularityProvider,
+    rank_buckets,
+)
+from repro.util.dates import day
+
+
+class TestSampleDays:
+    def test_biannual_2014_to_2022(self):
+        assert len(BIANNUAL_SAMPLE_DAYS) == 18  # 9 years x 2
+        assert BIANNUAL_SAMPLE_DAYS[0] == day(2014, 1, 15)
+        assert BIANNUAL_SAMPLE_DAYS[-1] == day(2022, 7, 15)
+
+
+class TestProvider:
+    def test_rank_jitter_bounded(self):
+        provider = PopularityProvider({"a.com": 1000}, churn=0.35)
+        for sample_day in BIANNUAL_SAMPLE_DAYS:
+            rank = provider.sample(sample_day).rank_of("a.com")
+            assert 1 <= rank <= 1_000_000
+            assert 500 <= rank <= 1500
+
+    def test_alive_window_filters_samples(self):
+        alive = {"a.com": (day(2018, 1, 1), day(2019, 12, 31))}
+        provider = PopularityProvider({"a.com": 500}, alive_on=alive)
+        assert provider.sample(day(2017, 7, 15)).rank_of("a.com") is None
+        assert provider.sample(day(2018, 7, 15)).rank_of("a.com") is not None
+        assert provider.sample(day(2021, 1, 15)).rank_of("a.com") is None
+
+    def test_min_rank_across_samples(self):
+        provider = PopularityProvider({"a.com": 10_000})
+        min_rank = provider.min_rank("a.com")
+        per_sample = [
+            provider.sample(d).rank_of("a.com") for d in BIANNUAL_SAMPLE_DAYS
+        ]
+        assert min_rank == min(per_sample)
+
+    def test_min_rank_unknown_domain(self):
+        assert PopularityProvider({}).min_rank("ghost.com") is None
+
+    def test_samples_cached_and_deterministic(self):
+        provider = PopularityProvider({"a.com": 100})
+        d = BIANNUAL_SAMPLE_DAYS[0]
+        assert provider.sample(d) is provider.sample(d)
+        other = PopularityProvider({"a.com": 100})
+        assert other.sample(d).rank_of("a.com") == provider.sample(d).rank_of("a.com")
+
+
+class TestRankBuckets:
+    def test_cumulative_buckets(self):
+        counts = rank_buckets([500, 5_000, 50_000, 500_000, None])
+        assert counts == {1_000: 1, 10_000: 2, 100_000: 3, 1_000_000: 4}
+
+    def test_boundary_inclusive(self):
+        counts = rank_buckets([1_000])
+        assert counts[1_000] == 1
+
+    def test_empty(self):
+        assert rank_buckets([]) == {1_000: 0, 10_000: 0, 100_000: 0, 1_000_000: 0}

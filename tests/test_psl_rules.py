@@ -1,0 +1,97 @@
+"""Tests for PSL rule parsing and the matching algorithm."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.psl.rules import PslRule, PublicSuffixList, parse_rules
+
+
+class TestRuleParsing:
+    def test_plain_rule(self):
+        rule = PslRule.parse("co.uk")
+        assert rule.labels == ("uk", "co")
+        assert not rule.is_exception
+        assert not rule.is_wildcard
+
+    def test_exception_rule(self):
+        rule = PslRule.parse("!www.ck")
+        assert rule.is_exception
+        assert rule.labels == ("ck", "www")
+
+    def test_wildcard_rule(self):
+        rule = PslRule.parse("*.ck")
+        assert rule.is_wildcard
+
+    def test_rejects_comment(self):
+        with pytest.raises(ValueError):
+            PslRule.parse("// comment")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            PslRule.parse("a..b")
+
+    def test_parse_rules_skips_comments_and_blanks(self):
+        rules = parse_rules(["// header", "", "com", "  ", "*.ck"])
+        assert [r.as_text() for r in rules] == ["com", "*.ck"]
+
+    def test_as_text_roundtrip(self):
+        for text in ("com", "co.uk", "*.ck", "!www.ck"):
+            assert PslRule.parse(text).as_text() == text
+
+
+@pytest.fixture()
+def psl():
+    return PublicSuffixList.from_lines(
+        ["com", "uk", "co.uk", "*.ck", "!www.ck", "jp", "co.jp"]
+    )
+
+
+class TestMatching:
+    def test_simple_tld(self, psl):
+        assert psl.public_suffix("example.com") == "com"
+        assert psl.registrable_domain("example.com") == "example.com"
+
+    def test_subdomain(self, psl):
+        assert psl.registrable_domain("a.b.example.com") == "example.com"
+
+    def test_multi_label_suffix(self, psl):
+        assert psl.public_suffix("foo.co.uk") == "co.uk"
+        assert psl.registrable_domain("foo.co.uk") == "foo.co.uk"
+        assert psl.registrable_domain("www.foo.co.uk") == "foo.co.uk"
+
+    def test_longest_rule_wins(self, psl):
+        # Both "uk" and "co.uk" match; co.uk is longer.
+        assert psl.public_suffix("x.co.uk") == "co.uk"
+        assert psl.public_suffix("x.org.uk") == "uk"  # org.uk not listed here
+
+    def test_wildcard_rule(self, psl):
+        assert psl.public_suffix("foo.anything.ck") == "anything.ck"
+        assert psl.registrable_domain("foo.anything.ck") == "foo.anything.ck"
+
+    def test_exception_beats_wildcard(self, psl):
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.registrable_domain("www.ck") == "www.ck"
+        assert psl.registrable_domain("sub.www.ck") == "www.ck"
+
+    def test_unknown_tld_falls_back_to_rightmost_label(self, psl):
+        assert psl.public_suffix("example.zz") == "zz"
+        assert psl.registrable_domain("example.zz") == "example.zz"
+
+    def test_bare_suffix_has_no_registrable_domain(self, psl):
+        assert psl.registrable_domain("com") is None
+        assert psl.registrable_domain("co.uk") is None
+
+    def test_is_public_suffix(self, psl):
+        assert psl.is_public_suffix("co.uk")
+        assert not psl.is_public_suffix("foo.co.uk")
+
+    def test_case_and_trailing_dot_normalization(self, psl):
+        assert psl.registrable_domain("WWW.Example.COM.") == "example.com"
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=4))
+    def test_registrable_is_suffix_of_input(self, label):
+        psl = PublicSuffixList.from_lines(["com"])
+        domain = f"{label}.example.com"
+        registrable = psl.registrable_domain(domain)
+        assert registrable is not None
+        assert domain.endswith(registrable)

@@ -1,0 +1,36 @@
+"""Executable-documentation test: the README quickstart block must run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+_README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+class TestReadme:
+    def test_quickstart_block_executes(self):
+        blocks = _python_blocks(_README.read_text())
+        assert blocks, "README has no python example"
+        quickstart = blocks[0]
+        # Shrink the documented scale so the test stays fast.
+        code = quickstart.replace("scaled(0.1)", "scaled(0.02)")
+        namespace = {}
+        exec(compile(code, "README.md", "exec"), namespace)  # noqa: S102
+
+    def test_referenced_paths_exist(self):
+        text = _README.read_text()
+        root = _README.parent
+        for relative in re.findall(r"`(examples/[\w./-]+\.py)`", text):
+            assert (root / relative).exists(), relative
+        for relative in re.findall(r"`(benchmarks/[\w./-]+\.py)`", text):
+            if "*" in relative:
+                continue
+            assert (root / relative).exists(), relative
+        assert (root / "DESIGN.md").exists()
+        assert (root / "EXPERIMENTS.md").exists()
+        assert (root / "docs" / "API.md").exists()

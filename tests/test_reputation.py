@@ -1,0 +1,104 @@
+"""Tests for the VT-like store, AVClass2-style tagging, and aliases."""
+
+import pytest
+
+from repro.reputation.avclass import extract_family, tokenize_label
+from repro.reputation.malpedia import resolve_alias
+from repro.reputation.virustotal import (
+    VENDOR_THRESHOLD,
+    FileReport,
+    UrlVerdict,
+    VirusTotalStore,
+    build_store_from_ownership,
+)
+from repro.util.dates import day
+from repro.util.rng import RngStream
+
+T0 = day(2019, 1, 1)
+
+
+def verdicts(domain, count, category="phishing", flagged_on=T0):
+    return [
+        UrlVerdict(domain, f"http://{domain}/x", f"vendor-{i:02d}", category, flagged_on)
+        for i in range(count)
+    ]
+
+
+class TestVirusTotalStore:
+    def test_url_threshold_enforced(self):
+        store = VirusTotalStore()
+        for verdict in verdicts("under.com", VENDOR_THRESHOLD - 1):
+            store.add_url_verdict(verdict)
+        for verdict in verdicts("over.com", VENDOR_THRESHOLD):
+            store.add_url_verdict(verdict)
+        assert store.flagged_url_categories("under.com") == {}
+        assert store.flagged_url_categories("over.com") == {"phishing": VENDOR_THRESHOLD}
+        assert not store.is_detected("under.com")
+        assert store.is_detected("over.com")
+
+    def test_same_vendor_counted_once(self):
+        store = VirusTotalStore()
+        for _ in range(10):
+            store.add_url_verdict(
+                UrlVerdict("dup.com", "http://dup.com/x", "vendor-01", "phishing", T0)
+            )
+        assert store.flagged_url_categories("dup.com") == {}
+
+    def test_file_threshold(self):
+        store = VirusTotalStore()
+        store.add_file_report(
+            FileReport("mal.com", "f" * 64, ("Trojan.Emotet.Gen",), 7, T0, "downloader")
+        )
+        store.add_file_report(
+            FileReport("weak.com", "e" * 64, ("Trojan.Emotet.Gen",), 2, T0, "downloader")
+        )
+        assert len(store.detected_files("mal.com")) == 1
+        assert store.detected_files("weak.com") == []
+
+    def test_first_malicious_day_min_of_files_and_urls(self):
+        store = VirusTotalStore()
+        store.add_file_report(
+            FileReport("both.com", "a" * 64, ("W32/virut.A",), 9, T0 + 50, "virus")
+        )
+        for verdict in verdicts("both.com", VENDOR_THRESHOLD, flagged_on=T0 + 10):
+            store.add_url_verdict(verdict)
+        assert store.first_malicious_day("both.com") == T0 + 10
+
+    def test_first_malicious_day_none_without_detections(self):
+        assert VirusTotalStore().first_malicious_day("clean.com") is None
+
+
+class TestBuildFromOwnership:
+    def test_synthesis_respects_ownership_windows(self):
+        ownership = [("evil.com", "registrant-9", T0, T0 + 300)]
+        store = build_store_from_ownership(
+            ownership, RngStream(3, "vt"), url_activity_probability=1.0,
+            file_activity_probability=1.0,
+        )
+        first = store.first_malicious_day("evil.com")
+        assert first is None or T0 <= first <= T0 + 300
+        assert store.url_verdicts("evil.com")
+        assert store.file_reports("evil.com")
+
+    def test_deterministic(self):
+        ownership = [("evil.com", "r", T0, T0 + 100), ("bad.net", "r2", T0, T0 + 50)]
+        a = build_store_from_ownership(ownership, RngStream(3, "vt"))
+        b = build_store_from_ownership(ownership, RngStream(3, "vt"))
+        assert a.domains() == b.domains()
+
+
+class TestAvclass:
+    def test_tokenize(self):
+        assert tokenize_label("Trojan.Emotet.Gen!x") == ["trojan", "emotet", "gen", "x"]
+
+    def test_extract_family_majority(self):
+        labels = ("Trojan.Emotet.Gen", "W32/emotet.A", "Mal/Geodo-B")
+        assert extract_family(labels) == "emotet"  # geodo aliases to emotet
+
+    def test_generic_labels_yield_none(self):
+        assert extract_family(("Trojan.Generic.Gen", "Mal/Agent-B")) is None
+
+    def test_alias_resolution(self):
+        assert resolve_alias("Bladabindi") == "njrat"
+        assert resolve_alias("xloader") == "formbook"
+        assert resolve_alias("unknownfam") == "unknownfam"

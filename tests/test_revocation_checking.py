@@ -1,0 +1,177 @@
+"""Tests for OCSP, stapling, and client revocation policies.
+
+These encode the paper's Section 2.4 threat model: soft-fail checking is
+defeated by an on-path interceptor that drops revocation traffic, and only
+expiration reliably stops a revoked-but-unexpired stale certificate.
+"""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.revocation.checking import (
+    CheckDecision,
+    ConnectionContext,
+    RevocationChecker,
+    RevocationPolicy,
+    interception_succeeds,
+)
+from repro.revocation.ocsp import OcspResponder, OcspStatus, StapleCache
+from repro.revocation.publisher import CaCrlPublisher
+from repro.revocation.reasons import RevocationReason
+from repro.util.dates import day
+
+T0 = day(2022, 1, 1)
+
+
+@pytest.fixture()
+def env(key_store):
+    ca = CertificateAuthority(
+        "OCSP CA", key_store, policy=IssuancePolicy(require_validation=False)
+    )
+    key = key_store.generate("sub", T0)
+    cert = ca.issue(["example.com"], key, T0)
+    publisher = CaCrlPublisher(ca)
+    responder = OcspResponder(publisher)
+    return ca, cert, publisher, responder
+
+
+class TestOcspResponder:
+    def test_good_status(self, env):
+        _ca, cert, _pub, responder = env
+        assert responder.query(cert, T0 + 1).status is OcspStatus.GOOD
+
+    def test_revoked_status_with_reason(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 5, RevocationReason.KEY_COMPROMISE)
+        response = responder.query(cert, T0 + 6)
+        assert response.status is OcspStatus.REVOKED
+        assert response.reason is RevocationReason.KEY_COMPROMISE
+        assert response.revocation_day == T0 + 5
+
+    def test_revocation_not_visible_before_it_happens(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 5)
+        assert responder.query(cert, T0 + 4).status is OcspStatus.GOOD
+
+    def test_unknown_for_foreign_certificate(self, env, key_store):
+        _ca, _cert, _pub, responder = env
+        other_ca = CertificateAuthority(
+            "Other", key_store, policy=IssuancePolicy(require_validation=False)
+        )
+        foreign = other_ca.issue(["x.com"], key_store.generate("s", T0), T0)
+        assert responder.query(foreign, T0).status is OcspStatus.UNKNOWN
+
+    def test_staple_cache_freshness(self, env):
+        _ca, cert, _pub, responder = env
+        staples = StapleCache(responder)
+        staples.refresh(cert, T0)
+        assert staples.staple_for(cert, T0 + 7) is not None
+        assert staples.staple_for(cert, T0 + 8) is None  # staple expired
+
+
+class TestRevocationChecker:
+    def test_none_policy_always_accepts(self, env):
+        _ca, cert, publisher, _responder = env
+        publisher.revoke(cert, T0 + 1, RevocationReason.KEY_COMPROMISE)
+        checker = RevocationChecker(RevocationPolicy.NONE)
+        assert checker.connection_outcome(cert, T0 + 2) is CheckDecision.ACCEPT
+
+    def test_checking_policy_requires_responder(self):
+        with pytest.raises(ValueError):
+            RevocationChecker(RevocationPolicy.SOFT_FAIL)
+
+    def test_soft_fail_rejects_when_status_reachable(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1)
+        checker = RevocationChecker(RevocationPolicy.SOFT_FAIL, responder)
+        assert checker.connection_outcome(cert, T0 + 2) is CheckDecision.REJECT_REVOKED
+
+    def test_soft_fail_bypassed_by_interceptor(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1, RevocationReason.KEY_COMPROMISE)
+        checker = RevocationChecker(RevocationPolicy.SOFT_FAIL, responder)
+        context = ConnectionContext(interceptor_drops_revocation_traffic=True)
+        assert checker.connection_outcome(cert, T0 + 2, context) is CheckDecision.ACCEPT
+
+    def test_hard_fail_resists_interceptor(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1)
+        checker = RevocationChecker(RevocationPolicy.HARD_FAIL, responder)
+        context = ConnectionContext(interceptor_drops_revocation_traffic=True)
+        assert (
+            checker.connection_outcome(cert, T0 + 2, context)
+            is CheckDecision.REJECT_UNAVAILABLE
+        )
+
+    def test_must_staple_hard_fails_without_staple(self, env):
+        _ca, cert, _publisher, responder = env
+        staples = StapleCache(responder)
+        checker = RevocationChecker(
+            RevocationPolicy.SOFT_FAIL, responder, staples, honor_must_staple=True
+        )
+        context = ConnectionContext(staple_presented=False)
+        decision = checker.connection_outcome(cert, T0 + 1, context, must_staple=True)
+        assert decision is CheckDecision.REJECT_UNAVAILABLE
+
+    def test_must_staple_accepts_fresh_good_staple(self, env):
+        _ca, cert, _publisher, responder = env
+        staples = StapleCache(responder)
+        staples.refresh(cert, T0 + 1)
+        checker = RevocationChecker(
+            RevocationPolicy.SOFT_FAIL, responder, staples, honor_must_staple=True
+        )
+        assert (
+            checker.connection_outcome(cert, T0 + 2, must_staple=True)
+            is CheckDecision.ACCEPT
+        )
+
+    def test_must_staple_rejects_revoked_staple(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1)
+        staples = StapleCache(responder)
+        staples.refresh(cert, T0 + 2)
+        checker = RevocationChecker(
+            RevocationPolicy.SOFT_FAIL, responder, staples, honor_must_staple=True
+        )
+        assert (
+            checker.connection_outcome(cert, T0 + 3, must_staple=True)
+            is CheckDecision.REJECT_REVOKED
+        )
+
+
+class TestInterceptionModel:
+    def test_revoked_stale_cert_still_intercepts_chrome_like(self, env):
+        """The paper's core point: revocation gives no recourse."""
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1, RevocationReason.KEY_COMPROMISE)
+        chrome = RevocationChecker(RevocationPolicy.NONE)
+        assert interception_succeeds(chrome, cert, T0 + 30, revoked=True)
+
+    def test_revoked_stale_cert_intercepts_firefox_soft_fail(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1, RevocationReason.KEY_COMPROMISE)
+        firefox = RevocationChecker(RevocationPolicy.SOFT_FAIL, responder)
+        assert interception_succeeds(firefox, cert, T0 + 30, revoked=True)
+
+    def test_expiration_is_the_backstop(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1, RevocationReason.KEY_COMPROMISE)
+        chrome = RevocationChecker(RevocationPolicy.NONE)
+        after_expiry = cert.not_after + 1
+        assert not interception_succeeds(chrome, cert, after_expiry, revoked=True)
+
+    def test_hard_fail_stops_interception(self, env):
+        _ca, cert, publisher, responder = env
+        publisher.revoke(cert, T0 + 1)
+        hard = RevocationChecker(RevocationPolicy.HARD_FAIL, responder)
+        assert not interception_succeeds(hard, cert, T0 + 30, revoked=True)
+
+    def test_must_staple_stops_interception(self, env):
+        _ca, cert, _publisher, responder = env
+        staples = StapleCache(responder)
+        checker = RevocationChecker(
+            RevocationPolicy.SOFT_FAIL, responder, staples, honor_must_staple=True
+        )
+        assert not interception_succeeds(
+            checker, cert, T0 + 30, revoked=False, must_staple=True
+        )

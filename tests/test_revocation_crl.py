@@ -1,0 +1,96 @@
+"""Tests for CRL model, reasons, publisher, fetcher, OCSP, and checking."""
+
+import pytest
+
+from repro.revocation.crl import CertificateRevocationList, CrlEntry, merge_crl_series
+from repro.revocation.reasons import (
+    MOZILLA_PERMITTED_REASONS,
+    RevocationReason,
+    normalize_reason,
+)
+from repro.util.dates import day
+
+T0 = day(2022, 11, 1)
+
+
+def crl(entries=(), this_update=T0, akid="akid-1", number=1):
+    c = CertificateRevocationList(
+        issuer_name="Test CA",
+        authority_key_id=akid,
+        this_update=this_update,
+        next_update=this_update + 7,
+        crl_number=number,
+    )
+    for entry in entries:
+        c.add(entry)
+    return c
+
+
+class TestReasons:
+    def test_mozilla_subset_size(self):
+        assert len(MOZILLA_PERMITTED_REASONS) == 6
+
+    def test_security_critical(self):
+        assert RevocationReason.KEY_COMPROMISE.is_security_critical
+        assert RevocationReason.CA_COMPROMISE.is_security_critical
+        assert not RevocationReason.SUPERSEDED.is_security_critical
+
+    def test_normalize_permitted_passthrough(self):
+        assert normalize_reason(RevocationReason.KEY_COMPROMISE) is RevocationReason.KEY_COMPROMISE
+
+    def test_normalize_disallowed_to_unspecified(self):
+        assert normalize_reason(RevocationReason.CERTIFICATE_HOLD) is RevocationReason.UNSPECIFIED
+        assert normalize_reason(RevocationReason.CA_COMPROMISE) is RevocationReason.UNSPECIFIED
+
+    def test_reason_der_values(self):
+        assert RevocationReason.KEY_COMPROMISE.value == 1
+        assert RevocationReason.REMOVE_FROM_CRL.value == 8
+
+
+class TestCrl:
+    def test_rejects_inverted_update_window(self):
+        with pytest.raises(ValueError):
+            CertificateRevocationList("CA", "akid", T0, T0 - 1, 1)
+
+    def test_is_revoked(self):
+        c = crl([CrlEntry(5, T0)])
+        assert c.is_revoked(5) is not None
+        assert c.is_revoked(6) is None
+
+    def test_freshness(self):
+        c = crl()
+        assert c.is_fresh_on(T0)
+        assert c.is_fresh_on(T0 + 7)
+        assert not c.is_fresh_on(T0 + 8)
+
+    def test_revocation_keys(self):
+        c = crl([CrlEntry(1, T0), CrlEntry(2, T0)], akid="akid-z")
+        assert list(c.revocation_keys()) == [("akid-z", 1), ("akid-z", 2)]
+
+    def test_entries_with_reason(self):
+        c = crl(
+            [
+                CrlEntry(1, T0, RevocationReason.KEY_COMPROMISE),
+                CrlEntry(2, T0, RevocationReason.SUPERSEDED),
+            ]
+        )
+        assert len(c.entries_with_reason(RevocationReason.KEY_COMPROMISE)) == 1
+
+
+class TestMergeCrlSeries:
+    def test_dedup_across_days(self):
+        day1 = crl([CrlEntry(1, T0)], this_update=T0, number=1)
+        day2 = crl([CrlEntry(1, T0), CrlEntry(2, T0 + 1)], this_update=T0 + 1, number=2)
+        merged = merge_crl_series([day1, day2])
+        assert set(merged) == {("akid-1", 1), ("akid-1", 2)}
+
+    def test_earliest_revocation_day_kept(self):
+        earlier = crl([CrlEntry(1, T0)], number=1)
+        later = crl([CrlEntry(1, T0 + 5)], number=2)
+        merged = merge_crl_series([later, earlier])
+        assert merged[("akid-1", 1)].revocation_day == T0
+
+    def test_different_issuers_distinct(self):
+        a = crl([CrlEntry(1, T0)], akid="akid-a")
+        b = crl([CrlEntry(1, T0)], akid="akid-b")
+        assert len(merge_crl_series([a, b])) == 2

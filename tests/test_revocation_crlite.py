@@ -1,0 +1,100 @@
+"""Tests for the CRLite-style Bloom-filter cascade."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.revocation.crlite import (
+    BloomFilter,
+    FilterCascade,
+    build_certificate_cascade,
+    certificate_key,
+)
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+
+class TestBloomFilter:
+    def test_added_keys_always_present(self):
+        bloom = BloomFilter(100, 0.01, salt=b"t")
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_roughly_bounded(self):
+        bloom = BloomFilter(500, 0.01, salt=b"t")
+        for i in range(500):
+            bloom.add(f"member-{i}".encode())
+        false_positives = sum(
+            1 for i in range(5000) if f"other-{i}".encode() in bloom
+        )
+        assert false_positives < 5000 * 0.05  # generous bound over 1% target
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 0.01, b"t")
+        with pytest.raises(ValueError):
+            BloomFilter(10, 1.5, b"t")
+
+    def test_salt_changes_positions(self):
+        a = BloomFilter(10, 0.1, salt=b"a")
+        b = BloomFilter(10, 0.1, salt=b"b")
+        a.add(b"x")
+        b.add(b"x")
+        assert a._bits != b._bits or a.bit_count != b.bit_count
+
+
+class TestFilterCascade:
+    def test_exact_separation(self):
+        revoked = {f"revoked-{i}".encode() for i in range(300)}
+        valid = {f"valid-{i}".encode() for i in range(3000)}
+        cascade, stats = FilterCascade.build(revoked, valid)
+        assert all(key in cascade for key in revoked)
+        assert not any(key in cascade for key in valid)
+        assert stats.revoked_count == 300
+        assert stats.valid_count == 3000
+        assert stats.levels == cascade.level_count >= 1
+
+    def test_empty_revocations(self):
+        cascade, stats = FilterCascade.build([], [b"a", b"b"])
+        assert b"a" not in cascade
+        assert stats.levels == 0
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            FilterCascade.build([b"x"], [b"x", b"y"])
+
+    def test_cascade_much_smaller_than_plain_list(self):
+        revoked = [f"revoked-{i}".encode() for i in range(1000)]
+        valid = [f"valid-{i}".encode() for i in range(20000)]
+        cascade, stats = FilterCascade.build(revoked, valid)
+        plain_list_bytes = sum(len(k) for k in revoked)
+        assert stats.total_size_bytes < plain_list_bytes
+        assert stats.bits_per_revocation < 40  # CRLite reports ~a few bits
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 400), st.integers(0, 10 ** 6))
+    def test_property_exactness(self, n_revoked, n_valid, seed):
+        revoked = {f"r-{seed}-{i}".encode() for i in range(n_revoked)}
+        valid = {f"v-{seed}-{i}".encode() for i in range(n_valid)}
+        cascade, _stats = FilterCascade.build(revoked, valid)
+        assert all(k in cascade for k in revoked)
+        assert not any(k in cascade for k in valid)
+
+
+class TestCertificateCascade:
+    def test_end_to_end_over_certificates(self):
+        t0 = day(2022, 1, 1)
+        revoked = [make_cert(serial=130_000 + i, not_before=t0) for i in range(20)]
+        valid = [make_cert(serial=131_000 + i, not_before=t0) for i in range(200)]
+        cascade, stats = build_certificate_cascade(revoked, valid)
+        for cert in revoked:
+            assert certificate_key(cert) in cascade
+        for cert in valid:
+            assert certificate_key(cert) not in cascade
+        assert stats.revoked_count == 20
+
+    def test_key_is_issuer_scoped(self):
+        a = make_cert(serial=7, authority_key_id="akid-a")
+        b = make_cert(serial=7, authority_key_id="akid-b")
+        assert certificate_key(a) != certificate_key(b)

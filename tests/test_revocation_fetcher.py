@@ -1,0 +1,80 @@
+"""Tests for the daily CRL fetcher with failure injection."""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.revocation.fetcher import CrlFetcher, FailureProfile, FetchOutcome
+from repro.revocation.publisher import CaCrlPublisher, DisclosureList
+from repro.util.dates import day
+from repro.util.rng import RngStream
+
+T0 = day(2022, 11, 1)
+
+
+@pytest.fixture()
+def disclosure(key_store):
+    disclosure = DisclosureList()
+    for name, operator in (("Good CA", "GoodOp"), ("Blocked CA", "BlockedOp")):
+        ca = CertificateAuthority(
+            name, key_store, policy=IssuancePolicy(require_validation=False),
+            operator=operator,
+        )
+        disclosure.disclose(CaCrlPublisher(ca))
+    return disclosure
+
+
+class TestFetcher:
+    def test_clean_fetch_collects_all(self, disclosure):
+        fetcher = CrlFetcher(disclosure, RngStream(1, "f"))
+        result = fetcher.fetch_day(T0)
+        assert len(result.crls) == 2
+        assert result.failures == []
+        assert fetcher.overall_coverage() == 1.0
+
+    def test_blocked_operator_never_succeeds(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"BlockedOp": FailureProfile(blocked=True)},
+        )
+        fetcher.fetch_range(T0, T0 + 9)
+        stats = fetcher.stats_by_operator
+        assert stats["BlockedOp"].coverage == 0.0
+        assert stats["GoodOp"].coverage == 1.0
+        assert stats["BlockedOp"].outcomes == {FetchOutcome.BLOCKED.value: 10}
+
+    def test_rate_limited_transient_failures(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"GoodOp": FailureProfile(rate_limit_probability=0.5)},
+        )
+        fetcher.fetch_range(T0, T0 + 199)
+        coverage = fetcher.stats_by_operator["GoodOp"].coverage
+        assert 0.35 < coverage < 0.65  # ~half succeed
+
+    def test_parse_errors_counted(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"GoodOp": FailureProfile(parse_error_probability=1.0)},
+        )
+        result = fetcher.fetch_day(T0)
+        assert (
+            fetcher.stats_by_operator["GoodOp"].outcomes[FetchOutcome.PARSE_ERROR.value]
+            == 1
+        )
+        assert len(result.crls) == 1  # the other CA still fetched
+
+    def test_overall_coverage_aggregates(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"BlockedOp": FailureProfile(blocked=True)},
+        )
+        fetcher.fetch_day(T0)
+        assert fetcher.overall_coverage() == 0.5
+
+    def test_fetch_range_returns_total(self, disclosure):
+        fetcher = CrlFetcher(disclosure, RngStream(1, "f"))
+        assert fetcher.fetch_range(T0, T0 + 4) == 10  # 2 CAs x 5 days

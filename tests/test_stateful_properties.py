@@ -1,0 +1,168 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Two core data structures get adversarial operation sequences:
+
+* the registry — registrations, renewals, transfers, deletions, and
+  re-registrations in arbitrary valid orders must preserve the invariants
+  the registrant-change detector relies on (creation dates only move
+  forward via re-registration; at most one active span; WHOIS answers
+  consistent with the span set);
+* the CT log — any interleaving of submissions and tree-head reads must
+  keep inclusion and consistency proofs verifiable (append-only history).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.ct.log import CtLog
+from repro.ct.merkle import verify_consistency, verify_inclusion
+from repro.util.dates import day
+from repro.whois.registry import Registry
+from tests.conftest import make_cert
+
+T0 = day(2018, 1, 1)
+
+
+class RegistryMachine(RuleBasedStateMachine):
+    """Random walks over the registry API, time always moving forward."""
+
+    def __init__(self):
+        super().__init__()
+        self.registry = Registry(operated_tlds=("com",))
+        self.clock = T0
+        self.counter = 0
+        self.names = ["walk0.com", "walk1.com", "walk2.com"]
+
+    def _advance(self, days):
+        self.clock += days
+        return self.clock
+
+    @rule(index=st.integers(0, 2), gap=st.integers(1, 200))
+    def register_if_free(self, index, gap):
+        name = self.names[index]
+        when = self._advance(gap)
+        if self.registry.current(name) is None:
+            spans = self.registry.spans(name)
+            if not spans or (spans[-1].deleted_on is not None and spans[-1].deleted_on <= when):
+                self.registry.register(name, f"owner-{self.counter}", "R", when)
+                self.counter += 1
+
+    @rule(index=st.integers(0, 2), gap=st.integers(1, 100))
+    def renew_if_possible(self, index, gap):
+        name = self.names[index]
+        when = self._advance(gap)
+        registration = self.registry.current(name)
+        if registration is None:
+            return
+        from repro.whois.lifecycle import DomainState
+
+        if registration.state_on(when) in (DomainState.ACTIVE, DomainState.AUTO_RENEW_GRACE):
+            self.registry.renew(name, when)
+
+    @rule(index=st.integers(0, 2), gap=st.integers(1, 100))
+    def transfer_if_active(self, index, gap):
+        name = self.names[index]
+        when = self._advance(gap)
+        registration = self.registry.current(name)
+        if registration is None:
+            return
+        from repro.whois.lifecycle import DomainState
+
+        if registration.state_on(when) is not DomainState.RELEASED:
+            self.registry.transfer(name, f"owner-{self.counter}", when)
+            self.counter += 1
+
+    @rule(index=st.integers(0, 2), gap=st.integers(1, 100))
+    def delete_if_active(self, index, gap):
+        name = self.names[index]
+        when = self._advance(gap)
+        if self.registry.current(name) is not None:
+            self.registry.delete(name, when)
+
+    @invariant()
+    def at_most_one_active_span(self):
+        for name in self.names:
+            spans = self.registry.spans(name)
+            active = [s for s in spans if s.deleted_on is None]
+            assert len(active) <= 1
+
+    @invariant()
+    def creation_dates_strictly_increase(self):
+        for name in self.names:
+            creations = [s.creation_date for s in self.registry.spans(name)]
+            assert creations == sorted(creations)
+            assert len(creations) == len(set(creations)) or not creations
+
+    @invariant()
+    def spans_do_not_overlap(self):
+        for name in self.names:
+            spans = self.registry.spans(name)
+            for previous, current in zip(spans, spans[1:]):
+                assert previous.deleted_on is not None
+                assert previous.deleted_on <= current.creation_date
+
+    @invariant()
+    def whois_matches_some_span(self):
+        for name in self.names:
+            record = self.registry.whois(name, self.clock)
+            spans = self.registry.spans(name)
+            if record is None:
+                continue
+            assert any(s.creation_date == record.creation_date for s in spans)
+
+
+TestRegistryStateful = RegistryMachine.TestCase
+TestRegistryStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+
+class CtLogMachine(RuleBasedStateMachine):
+    """Submissions interleaved with audited reads of an append-only log."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = CtLog("stateful-log", "Op")
+        self.serial = 170_000
+        self.checkpoints = []  # (size, root)
+
+    @rule(batch=st.integers(1, 5))
+    def submit_batch(self, batch):
+        for _ in range(batch):
+            self.serial += 1
+            self.log.submit(make_cert(serial=self.serial, not_before=T0), T0)
+
+    @rule()
+    def take_checkpoint(self):
+        size = self.log.tree_size
+        if size:
+            self.checkpoints.append((size, self.log.root_hash(size)))
+
+    @precondition(lambda self: self.log.tree_size > 0)
+    @rule(data=st.data())
+    def verify_random_inclusion(self, data):
+        size = self.log.tree_size
+        index = data.draw(st.integers(0, size - 1))
+        entry = self.log.get_entries(index, index)[0]
+        proof = self.log.inclusion_proof(index, size)
+        assert verify_inclusion(
+            entry.leaf_bytes(), index, size, proof, self.log.root_hash(size)
+        )
+
+    @invariant()
+    def all_checkpoints_remain_consistent(self):
+        current_size = self.log.tree_size
+        if not current_size:
+            return
+        current_root = self.log.root_hash(current_size)
+        for size, root in self.checkpoints:
+            proof = self.log.consistency_proof(size, current_size)
+            assert verify_consistency(size, current_size, root, current_root, proof)
+
+
+TestCtLogStateful = CtLogMachine.TestCase
+TestCtLogStateful.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)

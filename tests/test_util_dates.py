@@ -1,0 +1,88 @@
+"""Unit tests for the day-granularity time model."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.dates import (
+    add_months,
+    day,
+    day_to_date,
+    day_to_iso,
+    first_of_month,
+    month_key,
+    month_of,
+    months_between,
+    parse_day,
+    year_of,
+)
+
+
+class TestDayConversions:
+    def test_day_roundtrips_through_date(self):
+        d = day(2023, 5, 12)
+        assert day_to_date(d) == datetime.date(2023, 5, 12)
+
+    def test_day_ordinal_arithmetic_matches_calendar(self):
+        assert day(2020, 3, 1) - day(2020, 2, 28) == 2  # 2020 is a leap year
+        assert day(2021, 3, 1) - day(2021, 2, 28) == 1
+
+    def test_iso_rendering(self):
+        assert day_to_iso(day(2016, 1, 9)) == "2016-01-09"
+
+    def test_parse_day_iso(self):
+        assert parse_day("2022-11-01") == day(2022, 11, 1)
+
+    def test_parse_day_slash_variant(self):
+        assert parse_day("2022/11/01") == day(2022, 11, 1)
+
+    def test_parse_day_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_day("not-a-date")
+
+    def test_parse_day_rejects_bad_month(self):
+        with pytest.raises(ValueError):
+            parse_day("2022-13-01")
+
+    @given(st.integers(min_value=1, max_value=3_500_000))
+    def test_roundtrip_parse_render(self, ordinal):
+        assert parse_day(day_to_iso(ordinal)) == ordinal
+
+
+class TestCalendarHelpers:
+    def test_year_of(self):
+        assert year_of(day(1999, 12, 31)) == 1999
+
+    def test_month_of(self):
+        assert month_of(day(2018, 11, 30)) == (2018, 11)
+
+    def test_month_key_sorts_lexicographically(self):
+        keys = [month_key(day(2018, m, 1)) for m in range(1, 13)]
+        assert keys == sorted(keys)
+
+    def test_first_of_month(self):
+        assert first_of_month(day(2020, 6, 17)) == day(2020, 6, 1)
+
+    def test_add_months_simple(self):
+        assert add_months(day(2020, 1, 15), 2) == day(2020, 3, 15)
+
+    def test_add_months_clamps_day_of_month(self):
+        assert add_months(day(2020, 1, 31), 1) == day(2020, 2, 29)
+        assert add_months(day(2021, 1, 31), 1) == day(2021, 2, 28)
+
+    def test_add_months_across_year_boundary(self):
+        assert add_months(day(2020, 11, 5), 3) == day(2021, 2, 5)
+
+    def test_months_between_inclusive(self):
+        months = list(months_between(day(2018, 10, 20), day(2019, 1, 3)))
+        assert months == [
+            day(2018, 10, 1),
+            day(2018, 11, 1),
+            day(2018, 12, 1),
+            day(2019, 1, 1),
+        ]
+
+    def test_months_between_single_month(self):
+        months = list(months_between(day(2020, 5, 2), day(2020, 5, 30)))
+        assert months == [day(2020, 5, 1)]

@@ -1,0 +1,94 @@
+"""Tests for the bulk WHOIS crawler."""
+
+import pytest
+
+from repro.util.dates import day
+from repro.util.rng import RngStream
+from repro.whois.crawler import BulkWhoisCrawler
+from repro.whois.registry import Registry
+
+T0 = day(2016, 1, 1)
+
+
+@pytest.fixture()
+def registry():
+    registry = Registry()
+    registry.register("alpha.com", "alice", "R", T0, term_days=365)
+    registry.register("beta.net", "bob", "R", T0 + 10, term_days=365)
+    registry.register("gamma.org", "carol", "R", T0 + 20, term_days=365)
+    return registry
+
+
+class TestCrawl:
+    def test_single_crawl_collects_active_domains(self, registry):
+        crawler = BulkWhoisCrawler(registry)
+        snapshot = crawler.crawl(T0 + 30)
+        assert len(snapshot) == 3
+        assert crawler.stats.records_collected == 3
+
+    def test_tld_restriction(self, registry):
+        crawler = BulkWhoisCrawler(registry, tlds=("com", "net"))
+        snapshot = crawler.crawl(T0 + 30)
+        assert {r.domain for r in snapshot.records} == {"alpha.com", "beta.net"}
+
+    def test_crawl_before_registration_misses_domain(self, registry):
+        crawler = BulkWhoisCrawler(registry)
+        snapshot = crawler.crawl(T0 + 5)
+        assert {r.domain for r in snapshot.records} == {"alpha.com"}
+
+    def test_loss_rate_requires_rng(self, registry):
+        with pytest.raises(ValueError):
+            BulkWhoisCrawler(registry, loss_rate=0.5)
+
+    def test_loss_rate_drops_records(self, registry):
+        crawler = BulkWhoisCrawler(registry, loss_rate=1.0, rng=RngStream(2, "w"))
+        snapshot = crawler.crawl(T0 + 30)
+        assert len(snapshot) == 0
+        assert crawler.stats.records_lost == 3
+
+    def test_series_interval(self, registry):
+        crawler = BulkWhoisCrawler(registry)
+        count = crawler.crawl_series(T0, T0 + 100, interval_days=30)
+        assert count == 4
+        assert crawler.stats.crawls == 4
+
+    def test_invalid_interval(self, registry):
+        with pytest.raises(ValueError):
+            BulkWhoisCrawler(registry).crawl_series(T0, T0 + 10, interval_days=0)
+
+
+class TestCreationPairs:
+    def test_re_registration_yields_two_pairs(self, registry):
+        registry.delete("alpha.com", T0 + 100)
+        registry.register("alpha.com", "dave", "R", T0 + 200)
+        crawler = BulkWhoisCrawler(registry)
+        crawler.crawl(T0 + 50)   # sees first span
+        crawler.crawl(T0 + 250)  # sees second span
+        pairs = {p for p in crawler.creation_pairs() if p[0] == "alpha.com"}
+        assert pairs == {("alpha.com", T0), ("alpha.com", T0 + 200)}
+
+    def test_span_between_crawls_is_invisible(self, registry):
+        """The §4.4 observability limit: a short-lived span that starts and
+        ends between crawls never appears in the collected data."""
+        registry.delete("beta.net", T0 + 40)
+        registry.register("beta.net", "eve", "R", T0 + 50)
+        registry.delete("beta.net", T0 + 60)
+        registry.register("beta.net", "frank", "R", T0 + 90)
+        crawler = BulkWhoisCrawler(registry)
+        crawler.crawl(T0 + 30)
+        crawler.crawl(T0 + 100)
+        pairs = {p for p in crawler.creation_pairs() if p[0] == "beta.net"}
+        # Eve's span (T0+50..T0+60) fell between crawls; only two observed.
+        assert pairs == {("beta.net", T0 + 10), ("beta.net", T0 + 90)}
+
+    def test_duplicate_pairs_deduplicated(self, registry):
+        crawler = BulkWhoisCrawler(registry)
+        crawler.crawl(T0 + 30)
+        crawler.crawl(T0 + 60)
+        pairs = [p for p in crawler.creation_pairs() if p[0] == "alpha.com"]
+        assert pairs == [("alpha.com", T0)]
+
+    def test_observed_domains(self, registry):
+        crawler = BulkWhoisCrawler(registry)
+        crawler.crawl(T0 + 30)
+        assert crawler.observed_domains() == {"alpha.com", "beta.net", "gamma.org"}

@@ -1,0 +1,68 @@
+"""Tests for the domain lifecycle state machine."""
+
+from repro.util.dates import day
+from repro.whois.lifecycle import (
+    AUTO_RENEW_GRACE_DAYS,
+    PENDING_DELETE_DAYS,
+    REDEMPTION_DAYS,
+    DomainState,
+    LifecycleEvent,
+    LifecycleEventType,
+    release_day,
+    state_on,
+)
+
+EXPIRY = day(2020, 6, 1)
+
+
+class TestStateOn:
+    def test_active_before_expiry(self):
+        assert state_on(EXPIRY, EXPIRY - 100) is DomainState.ACTIVE
+        assert state_on(EXPIRY, EXPIRY) is DomainState.ACTIVE
+
+    def test_grace_window(self):
+        assert state_on(EXPIRY, EXPIRY + 1) is DomainState.AUTO_RENEW_GRACE
+        assert state_on(EXPIRY, EXPIRY + AUTO_RENEW_GRACE_DAYS) is DomainState.AUTO_RENEW_GRACE
+
+    def test_redemption_window(self):
+        first = EXPIRY + AUTO_RENEW_GRACE_DAYS + 1
+        last = EXPIRY + AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS
+        assert state_on(EXPIRY, first) is DomainState.REDEMPTION
+        assert state_on(EXPIRY, last) is DomainState.REDEMPTION
+
+    def test_pending_delete_window(self):
+        first = EXPIRY + AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS + 1
+        last = EXPIRY + AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS + PENDING_DELETE_DAYS
+        assert state_on(EXPIRY, first) is DomainState.PENDING_DELETE
+        assert state_on(EXPIRY, last) is DomainState.PENDING_DELETE
+
+    def test_released_after_full_timeline(self):
+        assert state_on(EXPIRY, release_day(EXPIRY)) is DomainState.RELEASED
+
+    def test_deleted_short_circuits(self):
+        assert state_on(EXPIRY, EXPIRY - 10, deleted=True) is DomainState.RELEASED
+
+
+class TestReleaseDay:
+    def test_release_day_is_80_days_after_expiry(self):
+        assert release_day(EXPIRY) - EXPIRY == (
+            AUTO_RENEW_GRACE_DAYS + REDEMPTION_DAYS + PENDING_DELETE_DAYS + 1
+        )
+
+
+class TestLifecycleEvent:
+    def test_changes_registrant_true(self):
+        event = LifecycleEvent(
+            "a.com", LifecycleEventType.TRANSFERRED, EXPIRY, "new", "old"
+        )
+        assert event.changes_registrant
+
+    def test_changes_registrant_false_same_owner(self):
+        event = LifecycleEvent(
+            "a.com", LifecycleEventType.RENEWED, EXPIRY, "same", "same"
+        )
+        assert not event.changes_registrant
+
+    def test_changes_registrant_false_missing_parties(self):
+        event = LifecycleEvent("a.com", LifecycleEventType.REGISTERED, EXPIRY, "new")
+        assert not event.changes_registrant

@@ -1,0 +1,64 @@
+"""Tests for WHOIS text rendering/parsing across registrar dialects."""
+
+import pytest
+
+from repro.util.dates import day
+from repro.whois.record import ThinWhoisRecord
+from repro.whois.parser import parse_whois_text, render_whois_text
+
+T0 = day(2017, 8, 21)
+
+
+@pytest.fixture()
+def record():
+    return ThinWhoisRecord(
+        domain="foo.com",
+        registrar="Tucows Domains Inc.",
+        creation_date=T0,
+        expiration_date=T0 + 365,
+        updated_date=T0 + 10,
+        nameservers=("ns1.host.net",),
+    )
+
+
+class TestRenderParse:
+    @pytest.mark.parametrize("dialect", ["verisign", "legacy", "terse"])
+    def test_all_dialects_roundtrip_thin_fields(self, record, dialect):
+        text = render_whois_text(record, dialect=dialect)
+        parsed = parse_whois_text(text)
+        assert parsed["domain"] == "foo.com"
+        assert parsed["registrar"] == "Tucows Domains Inc."
+        assert parsed["creation_date"] == T0
+        assert parsed["expiration_date"] == T0 + 365
+        assert parsed["updated_date"] == T0 + 10
+        assert parsed["nameservers"] == ["ns1.host.net"]
+
+    def test_unknown_dialect_rejected(self, record):
+        with pytest.raises(ValueError):
+            render_whois_text(record, dialect="nonexistent")
+
+    def test_gdpr_redaction_flag(self, record):
+        text = render_whois_text(record, gdpr_redacted=True)
+        assert "REDACTED FOR PRIVACY" in text
+        assert parse_whois_text(text)["redacted"] is True
+
+    def test_registrant_name_when_not_redacted(self, record):
+        text = render_whois_text(record, registrant_name="Alice Example")
+        assert "Alice Example" in text
+        assert parse_whois_text(text)["redacted"] is False
+
+    def test_parser_tolerates_unparseable_dates(self):
+        text = "Domain Name: X.COM\nCreation Date: someday soon\n"
+        parsed = parse_whois_text(text)
+        assert parsed["domain"] == "x.com"
+        assert parsed["creation_date"] is None
+
+    def test_parser_ignores_junk_lines(self):
+        text = ">>> whois database <<<\nno colon here\nDomain Name: y.com\n"
+        assert parse_whois_text(text)["domain"] == "y.com"
+
+    def test_dialect_date_formats_differ(self, record):
+        verisign = render_whois_text(record, dialect="verisign")
+        legacy = render_whois_text(record, dialect="legacy")
+        assert "T00:00:00Z" in verisign
+        assert "T00:00:00Z" not in legacy

@@ -1,0 +1,58 @@
+"""Tests for thin WHOIS records and snapshots."""
+
+import pytest
+
+from repro.util.dates import day
+from repro.whois.lifecycle import DomainState
+from repro.whois.record import ThinWhoisRecord, WhoisSnapshot
+
+T0 = day(2018, 4, 2)
+
+
+def record(domain="foo.com", creation=T0, expiration=None):
+    return ThinWhoisRecord(
+        domain=domain,
+        registrar="Registrar A",
+        creation_date=creation,
+        expiration_date=expiration if expiration is not None else creation + 365,
+        updated_date=creation,
+    )
+
+
+class TestThinWhoisRecord:
+    def test_normalizes_domain(self):
+        assert record(domain="FOO.Com.").domain == "foo.com"
+
+    def test_rejects_expiry_before_creation(self):
+        with pytest.raises(ValueError):
+            record(creation=T0, expiration=T0 - 1)
+
+    def test_creation_pair(self):
+        assert record().creation_pair() == ("foo.com", T0)
+
+    def test_record_roundtrip(self):
+        original = ThinWhoisRecord(
+            domain="foo.com",
+            registrar="Registrar A",
+            creation_date=T0,
+            expiration_date=T0 + 365,
+            updated_date=T0 + 3,
+            status=DomainState.REDEMPTION,
+            nameservers=("ns1.x.net", "ns2.x.net"),
+        )
+        assert ThinWhoisRecord.from_record(original.to_record()) == original
+
+
+class TestWhoisSnapshot:
+    def test_add_and_find(self):
+        snapshot = WhoisSnapshot(day=T0)
+        snapshot.add(record())
+        assert snapshot.find("FOO.com").domain == "foo.com"
+        assert snapshot.find("bar.com") is None
+        assert len(snapshot) == 1
+
+    def test_creation_pairs(self):
+        snapshot = WhoisSnapshot(day=T0)
+        snapshot.add(record("a.com"))
+        snapshot.add(record("b.com", creation=T0 + 1))
+        assert snapshot.creation_pairs() == [("a.com", T0), ("b.com", T0 + 1)]

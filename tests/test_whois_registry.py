@@ -1,0 +1,136 @@
+"""Tests for the registry database and registration lifecycle operations."""
+
+import pytest
+
+from repro.util.dates import day
+from repro.whois.lifecycle import DomainState, LifecycleEventType, release_day
+from repro.whois.registry import Registry
+
+T0 = day(2019, 1, 10)
+
+
+@pytest.fixture()
+def registry():
+    return Registry()
+
+
+class TestRegister:
+    def test_basic_registration(self, registry):
+        reg = registry.register("foo.com", "alice", "Registrar A", T0)
+        assert reg.creation_date == T0
+        assert reg.expiration_date == T0 + 365
+        assert registry.current("foo.com") is reg
+
+    def test_double_registration_rejected(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        with pytest.raises(ValueError):
+            registry.register("foo.com", "bob", "R", T0 + 10)
+
+    def test_re_registration_after_delete(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 100)
+        reg2 = registry.register("foo.com", "bob", "R", T0 + 200)
+        assert reg2.creation_date == T0 + 200
+        assert len(registry.spans("foo.com")) == 2
+        events = [e.event_type for e in registry.events()]
+        assert LifecycleEventType.RE_REGISTERED in events
+
+    def test_re_registration_before_delete_rejected(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 100)
+        with pytest.raises(ValueError):
+            registry.register("foo.com", "bob", "R", T0 + 50)
+
+
+class TestRenewTransferDelete:
+    def test_renew_extends_from_expiration(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        reg = registry.renew("foo.com", T0 + 100)
+        assert reg.expiration_date == T0 + 365 + 365
+
+    def test_renew_in_grace_is_restore(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.renew("foo.com", T0 + 365 + 10)
+        events = [e.event_type for e in registry.events()]
+        assert LifecycleEventType.RESTORED in events
+
+    def test_late_renewal_extends_from_original_expiry(self, registry):
+        # Renewing during grace gains no free days.
+        registry.register("foo.com", "alice", "R", T0)
+        reg = registry.renew("foo.com", T0 + 365 + 10)
+        assert reg.expiration_date == T0 + 365 + 365
+
+    def test_renew_in_pending_delete_rejected(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        pending = T0 + 365 + 46 + 31  # past grace + redemption
+        with pytest.raises(ValueError):
+            registry.renew("foo.com", pending)
+
+    def test_transfer_keeps_creation_date(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        reg = registry.transfer("foo.com", "bob", T0 + 50)
+        assert reg.creation_date == T0  # the stealth change the paper misses
+        assert reg.registrant_id == "bob"
+        assert registry.registrant_on("foo.com", T0 + 10) == "alice"
+        assert registry.registrant_on("foo.com", T0 + 60) == "bob"
+
+    def test_delete_emits_event(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 30)
+        assert registry.current("foo.com") is None
+        assert registry.events()[-1].event_type is LifecycleEventType.DELETED
+
+    def test_expire_and_release_runs_full_timeline(self, registry):
+        reg = registry.register("foo.com", "alice", "R", T0)
+        released = registry.expire_and_release("foo.com")
+        assert released == release_day(reg.expiration_date)
+
+    def test_operations_on_unknown_domain(self, registry):
+        with pytest.raises(KeyError):
+            registry.renew("nope.com", T0)
+        with pytest.raises(KeyError):
+            registry.transfer("nope.com", "x", T0)
+
+
+class TestQueries:
+    def test_whois_reflects_state(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        record = registry.whois("foo.com", T0 + 10)
+        assert record.creation_date == T0
+        assert record.status is DomainState.ACTIVE
+
+    def test_whois_grace_status(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        record = registry.whois("foo.com", T0 + 365 + 5)
+        assert record.status is DomainState.AUTO_RENEW_GRACE
+
+    def test_whois_before_creation_is_none(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        assert registry.whois("foo.com", T0 - 1) is None
+
+    def test_whois_after_delete_is_none(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 30)
+        assert registry.whois("foo.com", T0 + 31) is None
+
+    def test_whois_spans_reregistration(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 100)
+        registry.register("foo.com", "bob", "R", T0 + 200)
+        assert registry.whois("foo.com", T0 + 50).creation_date == T0
+        assert registry.whois("foo.com", T0 + 250).creation_date == T0 + 200
+
+    def test_creation_pairs_cover_all_spans(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 100)
+        registry.register("foo.com", "bob", "R", T0 + 200)
+        registry.register("bar.net", "carol", "R", T0)
+        pairs = set(registry.creation_pairs())
+        assert pairs == {("foo.com", T0), ("foo.com", T0 + 200), ("bar.net", T0)}
+
+    def test_registrant_on_across_spans(self, registry):
+        registry.register("foo.com", "alice", "R", T0)
+        registry.delete("foo.com", T0 + 100)
+        registry.register("foo.com", "bob", "R", T0 + 200)
+        assert registry.registrant_on("foo.com", T0 + 150) is None
+        assert registry.registrant_on("foo.com", T0 + 201) == "bob"
