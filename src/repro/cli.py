@@ -3,10 +3,11 @@
 Drives the full reproduction from a shell::
 
     python -m repro simulate  --scale 0.1
-    python -m repro detect    --scale 0.1
+    python -m repro detect    --scale 0.1 --format json
     python -m repro lifetime  --scale 0.1 --caps 45,90,215
     python -m repro report    --scale 0.1 --experiment fig6
     python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
+    python -m repro watch     --scale 0.1 --checkpoint-dir /tmp/ckpt --resume
 
 Every command simulates (or reuses, within one invocation) a seeded world,
 so results are reproducible given ``--seed``/``--scale``.
@@ -15,6 +16,7 @@ so results are reproducible given ``--seed``/``--scale``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -47,11 +49,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=0.1, help="world size multiplier (default 0.1)"
     )
+    # Accept --seed/--scale after the subcommand too (SUPPRESS keeps the
+    # subparser from clobbering the top-level defaults when absent).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=argparse.SUPPRESS, help="world seed")
+    common.add_argument(
+        "--scale", type=float, default=argparse.SUPPRESS, help="world size multiplier"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("simulate", help="simulate a world and print dataset sizes")
+    sub.add_parser(
+        "simulate", parents=[common], help="simulate a world and print dataset sizes"
+    )
 
-    detect = sub.add_parser("detect", help="run the three detectors; print Table 4")
+    detect = sub.add_parser(
+        "detect", parents=[common], help="run the three detectors; print Table 4"
+    )
     detect.add_argument(
         "--bundle", default=None,
         help="load a saved dataset bundle directory instead of simulating",
@@ -60,26 +73,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-findings", default=None, metavar="PATH",
         help="also write findings as JSONL (.gz supported)",
     )
+    detect.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
 
     save = sub.add_parser(
-        "save", help="simulate a world and persist its dataset bundle"
+        "save", parents=[common], help="simulate a world and persist its dataset bundle"
     )
     save.add_argument("--dir", required=True, help="output directory")
 
-    lifetime = sub.add_parser("lifetime", help="lifetime-cap policy analysis (Section 6)")
+    lifetime = sub.add_parser("lifetime", parents=[common], help="lifetime-cap policy analysis (Section 6)")
     lifetime.add_argument(
         "--caps", default="45,90,215", help="comma-separated caps in days"
     )
 
-    report = sub.add_parser("report", help="print one reproduced table/figure")
+    report = sub.add_parser("report", parents=[common], help="print one reproduced table/figure")
     report.add_argument("--experiment", choices=_EXPERIMENTS, default="table4")
+    report.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
 
     advise = sub.add_parser(
-        "advise", help="BygoneSSL-style pre-acquisition check against simulated CT"
+        "advise", parents=[common], help="BygoneSSL-style pre-acquisition check against simulated CT"
     )
     advise.add_argument("domain", help="domain being acquired")
     advise.add_argument(
         "--acquired", required=True, help="acquisition date (YYYY-MM-DD)"
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        parents=[common],
+        help="replay the world as a day-by-day event stream, emitting "
+        "advisories live (streaming equivalent of 'detect')",
+    )
+    watch.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist periodic checkpoints to DIR (enables --resume)",
+    )
+    watch.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir, if one exists",
+    )
+    watch.add_argument(
+        "--checkpoint-every", type=int, default=30, metavar="DAYS",
+        help="checkpoint cadence in processed event-days (default 30)",
+    )
+    watch.add_argument(
+        "--days", type=int, default=None, metavar="N",
+        help="stop after N event-days (partial run; combine with "
+        "--checkpoint-dir to continue later)",
+    )
+    watch.add_argument(
+        "--verify", action="store_true",
+        help="after the replay, run the batch pipeline and check the "
+        "findings sets are identical (exit 1 on divergence)",
+    )
+    watch.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text); json suppresses the live feed",
     )
     return parser
 
@@ -94,6 +148,24 @@ def _pipeline_result(world):
         world.to_bundle(),
         revocation_cutoff_day=world.config.timeline.revocation_cutoff,
     ).run()
+
+
+def _wants_json(args) -> bool:
+    return getattr(args, "format", "text") == "json"
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _print_rows(args, columns, rows, title) -> None:
+    """Render a tabular result as text or as a JSON document."""
+    if _wants_json(args):
+        _print_json(
+            {"title": title, "columns": list(columns), "rows": [list(r) for r in rows]}
+        )
+    else:
+        print(render_table(columns, rows, title=title))
 
 
 def cmd_simulate(args) -> int:
@@ -125,17 +197,16 @@ def cmd_detect(args) -> int:
         )
         print(f"wrote {written} findings to {args.save_findings}", file=sys.stderr)
     rows = build_table4(result)
-    print(
-        render_table(
-            ["Method", "Date range", "Daily certs", "Total certs",
-             "Daily e2LDs", "Total e2LDs"],
-            [
-                (r.method, r.date_range, round(r.daily_certs, 2), r.total_certs,
-                 round(r.daily_e2lds, 2), r.total_e2lds)
-                for r in rows
-            ],
-            title="Stale certificate detection (Table 4)",
-        )
+    _print_rows(
+        args,
+        ["Method", "Date range", "Daily certs", "Total certs",
+         "Daily e2LDs", "Total e2LDs"],
+        [
+            (r.method, r.date_range, round(r.daily_certs, 2), r.total_certs,
+             round(r.daily_e2lds, 2), r.total_e2lds)
+            for r in rows
+        ],
+        "Stale certificate detection (Table 4)",
     )
     return 0
 
@@ -189,95 +260,95 @@ def cmd_lifetime(args) -> int:
 
 def cmd_report(args) -> int:
     if args.experiment in ("table1", "table2"):
-        return _print_taxonomy(args.experiment)
+        return _print_taxonomy(args, args.experiment)
     world = _world(args)
     if args.experiment == "table3":
         rows = build_table3(world)
-        print(render_table(["Dataset", "Used for", "Date range", "Size"],
-                           [(r.dataset, r.used_for, r.date_range, r.size) for r in rows],
-                           title="Table 3"))
+        _print_rows(args, ["Dataset", "Used for", "Date range", "Size"],
+                    [(r.dataset, r.used_for, r.date_range, r.size) for r in rows],
+                    "Table 3")
         return 0
     if args.experiment == "table7":
         rows = build_table7(world.crl_fetcher)
-        print(render_table(["CA operator", "Coverage"],
-                           [(r.ca_operator, r.coverage_text) for r in rows],
-                           title="Table 7"))
+        _print_rows(args, ["CA operator", "Coverage"],
+                    [(r.ca_operator, r.coverage_text) for r in rows],
+                    "Table 7")
         return 0
     result = _pipeline_result(world)
     if args.experiment == "summary":
         from repro.analysis.summary import render_summary
 
-        print(render_summary(result))
+        if _wants_json(args):
+            _print_json({"title": "summary", "text": render_summary(result)})
+        else:
+            print(render_summary(result))
         return 0
     if args.experiment == "table4":
-        return cmd_detect_from(result)
+        return cmd_detect_from(args, result)
     if args.experiment == "fig4":
         series = build_fig4(result.findings)
         issuers = sorted({i for counts in series.values() for i in counts})
         rows = [[m] + [series[m].get(i, 0) for i in issuers] for m in sorted(series)]
-        print(render_table(["Month"] + issuers, rows, title="Figure 4"))
+        _print_rows(args, ["Month"] + issuers, rows, "Figure 4")
         return 0
     if args.experiment == "fig6":
         rows = [
             (s.staleness_class.value, f"{s.median_days:.0f}", f"{s.proportion_over_90:.2f}")
             for s in build_fig6(result.findings)
         ]
-        print(render_table(["Class", "Median staleness (d)", "P(>90d)"], rows,
-                           title="Figure 6"))
+        _print_rows(args, ["Class", "Median staleness (d)", "P(>90d)"], rows,
+                    "Figure 6")
         return 0
     if args.experiment == "fig8":
         rows = [
             (s.staleness_class.value, f"{s.survival_at_90:.3f}", f"{s.survival_at_215:.3f}")
             for s in build_fig8(result.findings)
         ]
-        print(render_table(["Class", "S(90)", "S(215)"], rows, title="Figure 8"))
+        _print_rows(args, ["Class", "S(90)", "S(215)"], rows, "Figure 8")
         return 0
     return 2
 
 
-def _print_taxonomy(which: str) -> int:
+def _print_taxonomy(args, which: str) -> int:
     """Tables 1 and 2 are pure taxonomy — no simulation needed."""
     from repro.core.taxonomy import CERTIFICATE_INFORMATION_TAXONOMY, INVALIDATION_EVENTS
 
     if which == "table1":
-        print(
-            render_table(
-                ["Category", "Description", "Related fields"],
-                [
-                    (row.category.value, row.description, ", ".join(row.related_fields))
-                    for row in CERTIFICATE_INFORMATION_TAXONOMY
-                ],
-                title="Table 1: Certificate Information Taxonomy",
-            )
+        _print_rows(
+            args,
+            ["Category", "Description", "Related fields"],
+            [
+                (row.category.value, row.description, ", ".join(row.related_fields))
+                for row in CERTIFICATE_INFORMATION_TAXONOMY
+            ],
+            "Table 1: Certificate Information Taxonomy",
         )
     else:
-        print(
-            render_table(
-                ["Invalidation event", "Category", "Example", "Controlled by", "Implication"],
-                [
-                    (
-                        spec.event.value,
-                        spec.category.value,
-                        spec.example,
-                        spec.controlled_by.value,
-                        spec.implication.value,
-                    )
-                    for spec in INVALIDATION_EVENTS
-                ],
-                title="Table 2: Certificate Invalidation Events",
-            )
+        _print_rows(
+            args,
+            ["Invalidation event", "Category", "Example", "Controlled by", "Implication"],
+            [
+                (
+                    spec.event.value,
+                    spec.category.value,
+                    spec.example,
+                    spec.controlled_by.value,
+                    spec.implication.value,
+                )
+                for spec in INVALIDATION_EVENTS
+            ],
+            "Table 2: Certificate Invalidation Events",
         )
     return 0
 
 
-def cmd_detect_from(result) -> int:
+def cmd_detect_from(args, result) -> int:
     rows = build_table4(result)
-    print(
-        render_table(
-            ["Method", "Daily e2LDs", "Total e2LDs"],
-            [(r.method, round(r.daily_e2lds, 2), r.total_e2lds) for r in rows],
-            title="Table 4",
-        )
+    _print_rows(
+        args,
+        ["Method", "Daily e2LDs", "Total e2LDs"],
+        [(r.method, round(r.daily_e2lds, 2), r.total_e2lds) for r in rows],
+        "Table 4",
     )
     return 0
 
@@ -302,6 +373,116 @@ def cmd_advise(args) -> int:
     return 0 if report.is_clean else 1
 
 
+def cmd_watch(args) -> int:
+    """Streaming replay: the always-on-monitor equivalent of ``detect``."""
+    from repro.stream import (
+        CheckpointMismatchError,
+        CheckpointStore,
+        StreamEngine,
+        verify_equivalence,
+    )
+
+    world = _world(args)
+    bundle = world.to_bundle()
+    cutoff = world.config.timeline.revocation_cutoff
+    store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+    if args.resume and store is None:
+        print(
+            "warning: --resume has no effect without --checkpoint-dir; "
+            "running from the start",
+            file=sys.stderr,
+        )
+    live = not _wants_json(args)
+    advisor = StaleCertificateAdvisor(world.corpus) if live else None
+
+    def on_finding(event):
+        if not live:
+            return
+        finding = event.finding
+        certificate = finding.certificate
+        domain = finding.affected_domain or sorted(certificate.fqdns())[0]
+        print(
+            f"[{day_to_iso(event.day)}] {finding.staleness_class.value:<22} "
+            f"{domain}  ({certificate.issuer_name} serial {certificate.serial}, "
+            f"valid to {day_to_iso(certificate.not_after)}; {finding.detail})"
+        )
+        if finding.staleness_class is StalenessClass.REGISTRANT_CHANGE:
+            # The live BygoneSSL-style advisory a registrant would receive
+            # the day their newly acquired domain shows a stale certificate.
+            report = advisor.check_acquisition(domain, finding.invalidation_day)
+            if not report.is_clean:
+                print(f"    advisory: {report.summary()}")
+
+    engine = StreamEngine(
+        bundle,
+        revocation_cutoff_day=cutoff,
+        checkpoint_store=store,
+        checkpoint_every_days=args.checkpoint_every,
+        on_finding=on_finding,
+    )
+    try:
+        result = engine.replay(max_days=args.days, resume=args.resume)
+    except CheckpointMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    equivalent = None
+    if args.verify:
+        if result.complete:
+            equivalent, _ = verify_equivalence(
+                bundle, result.findings, revocation_cutoff_day=cutoff
+            )
+        else:
+            print(
+                "warning: --verify skipped (partial replay; findings are "
+                "provisional)",
+                file=sys.stderr,
+            )
+
+    table4 = build_table4(result.to_pipeline_result())
+    if _wants_json(args):
+        _print_json(
+            {
+                "complete": result.complete,
+                "cursor_day": day_to_iso(result.cursor_day)
+                if result.cursor_day is not None
+                else None,
+                "checkpoint_dir": args.checkpoint_dir,
+                "stats": result.stats.to_record(),
+                "verified_equivalent": equivalent,
+                "table4": [
+                    {
+                        "method": r.method,
+                        "date_range": r.date_range,
+                        "daily_certs": round(r.daily_certs, 2),
+                        "total_certs": r.total_certs,
+                        "daily_e2lds": round(r.daily_e2lds, 2),
+                        "total_e2lds": r.total_e2lds,
+                    }
+                    for r in table4
+                ],
+            }
+        )
+    else:
+        print(render_table(
+            ["Stream quantity", "Value"], result.stats.summary_rows(),
+            title="Stream metrics",
+        ))
+        print(render_table(
+            ["Method", "Daily e2LDs", "Total e2LDs"],
+            [(r.method, round(r.daily_e2lds, 2), r.total_e2lds) for r in table4],
+            title="Converged findings (Table 4)"
+            + ("" if result.complete else " — PARTIAL, provisional"),
+        ))
+        if equivalent is not None:
+            print(
+                "equivalence: streaming findings "
+                + ("MATCH" if equivalent else "DIVERGE FROM")
+                + " the batch pipeline"
+            )
+    return 0 if equivalent in (None, True) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -311,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lifetime": cmd_lifetime,
         "report": cmd_report,
         "advise": cmd_advise,
+        "watch": cmd_watch,
     }
     return handlers[args.command](args)
 

@@ -42,10 +42,12 @@ class FetchStats:
 
     attempted: int = 0
     succeeded: int = 0
+    retries: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, outcome: FetchOutcome) -> None:
+    def record(self, outcome: FetchOutcome, retries: int = 0) -> None:
         self.attempted += 1
+        self.retries += retries
         if outcome is FetchOutcome.OK:
             self.succeeded += 1
         self.outcomes[outcome.value] = self.outcomes.get(outcome.value, 0) + 1
@@ -72,10 +74,16 @@ class CrlFetcher:
         disclosure: DisclosureList,
         rng: RngStream,
         profiles: Optional[Dict[str, FailureProfile]] = None,
+        max_attempts: int = 1,
     ) -> None:
+        """``max_attempts``: total tries per CRL per day. Only transient
+        rate limiting is retried — blocked servers and parse failures are
+        deterministic and fail identically on every attempt. The default of
+        1 preserves the RNG draw sequence of seeded worlds."""
         self._disclosure = disclosure
         self._rng = rng
         self._profiles = profiles or {}
+        self.max_attempts = max(1, max_attempts)
         self.stats_by_operator: Dict[str, FetchStats] = {}
         self.collected: List[CertificateRevocationList] = []
 
@@ -83,13 +91,13 @@ class CrlFetcher:
         return self._profiles.get(operator, FailureProfile())
 
     def fetch_day(self, fetch_day: Day) -> DailyFetchResult:
-        """Attempt every disclosed CRL once."""
+        """Attempt every disclosed CRL (with retries for transient failures)."""
         crls: List[CertificateRevocationList] = []
         failures: List[Tuple[str, FetchOutcome]] = []
         for row in self._disclosure.rows():
-            outcome = self._attempt(row)
+            outcome, retries = self._attempt_with_retries(row)
             stats = self.stats_by_operator.setdefault(row.ca_operator, FetchStats())
-            stats.record(outcome)
+            stats.record(outcome, retries=retries)
             if outcome is FetchOutcome.OK:
                 crls.append(row.publisher.publish(fetch_day))
             else:
@@ -108,6 +116,17 @@ class CrlFetcher:
         attempted = sum(s.attempted for s in self.stats_by_operator.values())
         succeeded = sum(s.succeeded for s in self.stats_by_operator.values())
         return succeeded / attempted if attempted else 0.0
+
+    def _attempt_with_retries(self, row: DisclosedCrl) -> Tuple[FetchOutcome, int]:
+        outcome = self._attempt(row)
+        retries = 0
+        while (
+            outcome is FetchOutcome.RATE_LIMITED
+            and retries < self.max_attempts - 1
+        ):
+            retries += 1
+            outcome = self._attempt(row)
+        return outcome, retries
 
     def _attempt(self, row: DisclosedCrl) -> FetchOutcome:
         profile = self.profile_for(row.ca_operator)

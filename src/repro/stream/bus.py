@@ -1,0 +1,65 @@
+"""Synchronous publish/subscribe event bus.
+
+Handlers subscribe per :class:`~repro.stream.events.EventType`; publishing
+enqueues, :meth:`EventBus.drain` dispatches in FIFO order. Handlers may
+publish further events while draining (the engine republishes detector
+findings as ``STALE_FINDING`` events), which simply extends the queue —
+dispatch stays single-threaded and deterministic.
+
+The bus doubles as the metrics tap: queue depth and per-type handler
+latency are recorded into the attached :class:`StreamStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.stream.events import Event, EventType
+from repro.stream.metrics import StreamStats
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Time-ordered FIFO dispatch with per-type subscriptions."""
+
+    def __init__(self, stats: Optional[StreamStats] = None) -> None:
+        self._handlers: Dict[EventType, List[Handler]] = {}
+        self._queue: Deque[Event] = deque()
+        self.stats = stats if stats is not None else StreamStats()
+
+    def subscribe(self, event_type: EventType, handler: Handler) -> None:
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: Event) -> None:
+        """Enqueue an event; it dispatches on the next :meth:`drain`."""
+        self._queue.append(event)
+        self.stats.observe_queue_depth(len(self._queue))
+
+    def publish_all(self, events) -> None:
+        for event in events:
+            self.publish(event)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> int:
+        """Dispatch queued events FIFO until the queue is empty.
+
+        Returns the number of events dispatched. Per-event wall time across
+        all its handlers is accumulated into the stats object.
+        """
+        dispatched = 0
+        while self._queue:
+            event = self._queue.popleft()
+            started = time.perf_counter()
+            for handler in self._handlers.get(event.event_type, ()):
+                handler(event)
+            self.stats.record_event(
+                event.event_type.value, time.perf_counter() - started
+            )
+            dispatched += 1
+        return dispatched

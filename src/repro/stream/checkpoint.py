@@ -1,0 +1,62 @@
+"""Checkpoint persistence for the streaming engine.
+
+A checkpoint is one gzipped JSON document holding the replay cursor (last
+fully processed event day), the cumulative :class:`StreamStats`, and each
+detector's non-derivable state. Certificates are referenced by dedup
+fingerprint only — the engine re-ingests the CT prefix from the bundle on
+resume, so checkpoints stay small (kilobytes, not the corpus).
+
+Writes are atomic (tmp + rename via :func:`repro.util.storage.dump_json`),
+so a kill mid-checkpoint leaves the previous checkpoint intact. A bundle
+fingerprint guards against resuming against a different world; mismatch
+raises :class:`CheckpointMismatchError` rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.util.storage import dump_json, load_json
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint on disk does not belong to the bundle being replayed."""
+
+
+class CheckpointStore:
+    """Single-slot checkpoint in a directory (latest state wins)."""
+
+    FILENAME = "stream-checkpoint.json.gz"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, self.FILENAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def save(self, state: dict) -> str:
+        os.makedirs(self.directory, exist_ok=True)
+        document = dict(state)
+        document["format_version"] = CHECKPOINT_FORMAT_VERSION
+        return dump_json(self.path, document)
+
+    def load(self) -> Optional[dict]:
+        """The stored state, or None when no checkpoint exists yet."""
+        if not self.exists():
+            return None
+        document = load_json(self.path)
+        version = document.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointMismatchError(
+                f"checkpoint format v{version} != supported v{CHECKPOINT_FORMAT_VERSION}"
+            )
+        return document
+
+    def clear(self) -> None:
+        if self.exists():
+            os.remove(self.path)

@@ -1,0 +1,400 @@
+"""Replay driver: walks a simulated world day by day through the event bus.
+
+:func:`build_event_stream` derives the time-ordered event list from a
+:class:`~repro.core.pipeline.DatasetBundle` — CT entries at their notBefore
+day, compacted CRL deltas at each CRL's thisUpdate, distinct WHOIS creation
+pairs at their creation day, DNS snapshots at their scan day.
+:class:`StreamEngine` dispatches one day at a time, feeding the incremental
+detectors and republishing their findings as ``STALE_FINDING`` events, with
+optional periodic checkpointing and kill/resume.
+
+The equivalence guarantee (see :func:`verify_equivalence`): a full replay
+produces the same findings set as ``MeasurementPipeline.run()`` over the
+same bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from itertools import groupby
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.detectors.key_compromise import RevocationJoinStats
+from repro.core.pipeline import DatasetBundle, MeasurementPipeline, PipelineResult
+from repro.core.stale import StaleCertificate, StalenessClass, StaleFindings
+from repro.revocation.crl import CrlEntry
+from repro.stream.bus import EventBus
+from repro.stream.checkpoint import CheckpointMismatchError, CheckpointStore
+from repro.stream.detectors import (
+    IncrementalKeyCompromiseDetector,
+    IncrementalManagedTlsDetector,
+    IncrementalRegistrantChangeDetector,
+)
+from repro.stream.events import (
+    CrlDeltaPublished,
+    CtEntryLogged,
+    DnsSnapshotTaken,
+    Event,
+    EventType,
+    StaleFindingEmitted,
+    WhoisCreationObserved,
+)
+from repro.stream.metrics import StreamStats
+from repro.util.dates import Day
+
+#: Default periodic checkpoint cadence, in processed event-days.
+DEFAULT_CHECKPOINT_EVERY_DAYS = 30
+
+FindingCallback = Callable[[StaleFindingEmitted], None]
+
+
+def bundle_fingerprint(bundle: DatasetBundle) -> str:
+    """Cheap identity for checkpoint/bundle matching (not cryptographic)."""
+    digest = hashlib.sha256()
+    parts = (
+        str(len(bundle.corpus)),
+        str(len(bundle.crls)),
+        str(sum(len(crl) for crl in bundle.crls)),
+        str(len(bundle.whois_creation_pairs)),
+        str(len(bundle.dns_snapshots) if bundle.dns_snapshots is not None else 0),
+        repr(sorted((cls.value, window) for cls, window in bundle.windows.items())),
+    )
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"|")
+    return digest.hexdigest()[:16]
+
+
+def build_event_stream(bundle: DatasetBundle) -> List[Event]:
+    """Derive the sorted event list a live deployment would have observed.
+
+    CRL publications are *compacted*: each ``CrlDeltaPublished`` carries
+    only the entries that are new for their (authority key id, serial) — or
+    that improve on a previously published revocation day, mirroring the
+    earliest-day-wins rule of
+    :func:`~repro.revocation.crl.merge_crl_series`. Daily republications of
+    an unchanged CRL therefore produce no event at all.
+    """
+    events: List[Event] = []
+
+    certificates = sorted(
+        bundle.corpus.certificates(),
+        key=lambda c: (c.not_before, c.dedup_fingerprint()),
+    )
+    for sequence, certificate in enumerate(certificates):
+        events.append(
+            CtEntryLogged(
+                day=certificate.not_before, sequence=sequence, certificate=certificate
+            )
+        )
+
+    best_published: Dict[Tuple[str, int], Day] = {}
+    sequence = 0
+    for crl in sorted(
+        bundle.crls, key=lambda c: (c.this_update, c.authority_key_id, c.crl_number)
+    ):
+        delta: List[CrlEntry] = []
+        for entry in crl.entries:
+            key = (crl.authority_key_id, entry.serial)
+            published = best_published.get(key)
+            if published is not None and entry.revocation_day >= published:
+                continue
+            best_published[key] = entry.revocation_day
+            delta.append(entry)
+        if not delta:
+            continue
+        events.append(
+            CrlDeltaPublished(
+                day=crl.this_update,
+                sequence=sequence,
+                issuer_name=crl.issuer_name,
+                authority_key_id=crl.authority_key_id,
+                entries=tuple(delta),
+            )
+        )
+        sequence += 1
+
+    seen_pairs: Set[Tuple[str, Day]] = set()
+    sequence = 0
+    for domain, creation_day in sorted(bundle.whois_creation_pairs):
+        if (domain, creation_day) in seen_pairs:
+            continue  # the same pair surfaces in many crawls
+        seen_pairs.add((domain, creation_day))
+        events.append(
+            WhoisCreationObserved(
+                day=creation_day,
+                sequence=sequence,
+                domain=domain,
+                creation_day=creation_day,
+            )
+        )
+        sequence += 1
+
+    if bundle.dns_snapshots is not None and len(bundle.dns_snapshots) >= 2:
+        for sequence, scan_day in enumerate(bundle.dns_snapshots.days()):
+            events.append(
+                DnsSnapshotTaken(
+                    day=scan_day,
+                    sequence=sequence,
+                    snapshot=bundle.dns_snapshots.get(scan_day),
+                )
+            )
+
+    events.sort(key=Event.sort_key)
+    return events
+
+
+@dataclass
+class StreamResult:
+    """Converged output of one (possibly partial) streaming replay."""
+
+    findings: StaleFindings
+    stats: StreamStats
+    revocation_stats: Optional[RevocationJoinStats] = None
+    windows: Dict[StalenessClass, Tuple[Day, Day]] = field(default_factory=dict)
+    #: Whether the whole stream was consumed and detectors finalized. A
+    #: partial (``max_days``/``through_day``-limited) run reports the
+    #: provisional findings as of its cursor.
+    complete: bool = False
+    cursor_day: Optional[Day] = None
+
+    def to_pipeline_result(self) -> PipelineResult:
+        """Adapt to the batch result type the report layer consumes."""
+        return PipelineResult(
+            findings=self.findings,
+            revocation_stats=self.revocation_stats,
+            windows=dict(self.windows),
+        )
+
+
+class StreamEngine:
+    """Day-by-day replay of a bundle through the incremental detectors.
+
+    One engine instance runs one replay (optionally resumed from a
+    checkpoint at the start). ``on_finding`` is invoked for every
+    ``STALE_FINDING`` event as it is dispatched — the live advisory feed.
+    """
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        revocation_cutoff_day: Optional[Day] = None,
+        whois_tlds: Optional[Sequence[str]] = ("com", "net"),
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every_days: int = DEFAULT_CHECKPOINT_EVERY_DAYS,
+        on_finding: Optional[FindingCallback] = None,
+    ) -> None:
+        self._bundle = bundle
+        self._fingerprint = bundle_fingerprint(bundle)
+        self._store = checkpoint_store
+        self._checkpoint_every = max(1, checkpoint_every_days)
+        self._on_finding = on_finding
+
+        self.stats = StreamStats()
+        self.bus = EventBus(self.stats)
+        self._kc = IncrementalKeyCompromiseDetector(revocation_cutoff_day)
+        self._rc = IncrementalRegistrantChangeDetector(whois_tlds)
+        self._mt = IncrementalManagedTlsDetector()
+
+        self._cursor: Optional[Day] = None
+        self._current_day: Optional[Day] = None
+        self._finding_sequence = 0
+        self._finalized = False
+
+        self.bus.subscribe(EventType.CT_ENTRY_LOGGED, self._on_ct_entry)
+        self.bus.subscribe(EventType.CRL_DELTA_PUBLISHED, self._on_crl_delta)
+        self.bus.subscribe(EventType.WHOIS_CREATION_OBSERVED, self._on_whois)
+        self.bus.subscribe(EventType.DNS_SNAPSHOT_TAKEN, self._on_snapshot)
+        self.bus.subscribe(EventType.STALE_FINDING, self._on_stale_finding)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_ct_entry(self, event: CtEntryLogged) -> None:
+        self._emit(self._kc.register_certificate(event.certificate))
+        self._emit(self._rc.register_certificate(event.certificate))
+        self._emit(self._mt.register_certificate(event.certificate))
+
+    def _on_crl_delta(self, event: CrlDeltaPublished) -> None:
+        self._emit(self._kc.handle_crl_delta(event))
+
+    def _on_whois(self, event: WhoisCreationObserved) -> None:
+        self._emit(self._rc.handle_whois(event))
+
+    def _on_snapshot(self, event: DnsSnapshotTaken) -> None:
+        self._emit(self._mt.handle_snapshot(event))
+
+    def _on_stale_finding(self, event: StaleFindingEmitted) -> None:
+        self.stats.record_finding(event.finding.staleness_class.value)
+        if self._on_finding is not None:
+            self._on_finding(event)
+
+    def _emit(self, findings: List[StaleCertificate]) -> None:
+        day = self._current_day if self._current_day is not None else 0
+        for finding in findings:
+            self.bus.publish(
+                StaleFindingEmitted(
+                    day=day, sequence=self._finding_sequence, finding=finding
+                )
+            )
+            self._finding_sequence += 1
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(
+        self,
+        max_days: Optional[int] = None,
+        through_day: Optional[Day] = None,
+        resume: bool = False,
+    ) -> StreamResult:
+        """Replay the bundle's event stream and return the converged result.
+
+        ``max_days`` limits how many event-days this run processes (for
+        partial runs and kill tests); ``through_day`` stops after that
+        absolute day. ``resume=True`` restores the checkpoint first (a
+        missing checkpoint silently degrades to a fresh run). Detectors are
+        finalized — and the result marked ``complete`` — only when the
+        stream is fully consumed.
+        """
+        if resume and self._store is not None:
+            self._restore()
+
+        events = build_event_stream(self._bundle)
+        days_this_run = 0
+        since_checkpoint = 0
+        exhausted = True
+        for day, day_events in groupby(events, key=lambda event: event.day):
+            if self._cursor is not None and day <= self._cursor:
+                continue  # already processed before the kill
+            if through_day is not None and day > through_day:
+                exhausted = False
+                break
+            if max_days is not None and days_this_run >= max_days:
+                exhausted = False
+                break
+            self._current_day = day
+            self.bus.publish_all(day_events)
+            self.bus.drain()
+            self.stats.record_day(day)
+            self._cursor = day
+            days_this_run += 1
+            since_checkpoint += 1
+            if self._store is not None and since_checkpoint >= self._checkpoint_every:
+                self._checkpoint()
+                since_checkpoint = 0
+
+        if exhausted and not self._finalized:
+            self._emit(self._mt.finalize())
+            self.bus.drain()
+            self._finalized = True
+        if self._store is not None:
+            self._checkpoint()
+
+        return StreamResult(
+            findings=self._materialize(),
+            stats=self.stats,
+            revocation_stats=self._kc.stats if self._bundle.crls else None,
+            windows=dict(self._bundle.windows),
+            complete=self._finalized,
+            cursor_day=self._cursor,
+        )
+
+    def _materialize(self) -> StaleFindings:
+        findings = StaleFindings()
+        findings.extend(self._kc.findings())
+        findings.extend(self._rc.findings())
+        findings.extend(self._mt.findings())
+        return findings
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        state = {
+            "bundle_fingerprint": self._fingerprint,
+            "cursor_day": self._cursor,
+            "finalized": self._finalized,
+            "stats": self.stats.to_record(),
+            "detectors": {
+                "key_compromise": self._kc.checkpoint_state(),
+                "registrant_change": self._rc.checkpoint_state(),
+                "managed_tls": self._mt.checkpoint_state(),
+            },
+        }
+        self._store.save(state)
+        self.stats.checkpoints_written += 1
+
+    def _restore(self) -> bool:
+        state = self._store.load()
+        if state is None:
+            return False
+        if state.get("bundle_fingerprint") != self._fingerprint:
+            raise CheckpointMismatchError(
+                "checkpoint belongs to a different dataset bundle "
+                f"({state.get('bundle_fingerprint')} != {self._fingerprint})"
+            )
+        self._cursor = state.get("cursor_day")
+        self._finalized = state.get("finalized", False)
+        self.stats = StreamStats.from_record(state.get("stats", {}))
+        self.stats.resumed_from_day = self._cursor
+        self.bus.stats = self.stats
+
+        detectors = state.get("detectors", {})
+        by_fingerprint = {
+            certificate.dedup_fingerprint(): certificate
+            for certificate in self._bundle.corpus.certificates()
+        }
+        self._kc.restore_state(detectors.get("key_compromise", {}))
+        self._rc.restore_state(detectors.get("registrant_change", {}))
+        self._mt.restore_state(
+            detectors.get("managed_tls", {}), by_fingerprint.__getitem__
+        )
+
+        # Re-ingest the CT prefix (certificates already logged by the
+        # cursor) to rebuild the derivable seen-certificate indexes; the
+        # key-compromise and registrant-change findings rebuild from the
+        # restored join state as a side effect.
+        if self._cursor is not None:
+            for certificate in sorted(
+                self._bundle.corpus.certificates(),
+                key=lambda c: (c.not_before, c.dedup_fingerprint()),
+            ):
+                if certificate.not_before > self._cursor:
+                    break
+                self._kc.register_certificate(certificate)
+                self._rc.register_certificate(certificate)
+                self._mt.register_certificate(certificate)
+            self._rc.rebuild_findings()
+        return True
+
+
+# -- batch equivalence -------------------------------------------------------
+
+
+def canonical_findings(
+    findings: StaleFindings,
+) -> List[Tuple[str, str, Day, str, str]]:
+    """Order-free canonical form of a findings set for comparison."""
+    return sorted(
+        (
+            finding.staleness_class.value,
+            finding.certificate.dedup_fingerprint(),
+            finding.invalidation_day,
+            finding.affected_domain or "",
+            finding.detail,
+        )
+        for finding in findings.all_findings()
+    )
+
+
+def verify_equivalence(
+    bundle: DatasetBundle,
+    stream_findings: StaleFindings,
+    revocation_cutoff_day: Optional[Day] = None,
+    whois_tlds: Optional[Sequence[str]] = ("com", "net"),
+) -> Tuple[bool, PipelineResult]:
+    """Compare streaming findings against a fresh batch pipeline run."""
+    batch = MeasurementPipeline(
+        bundle, revocation_cutoff_day=revocation_cutoff_day, whois_tlds=whois_tlds
+    ).run()
+    matches = canonical_findings(batch.findings) == canonical_findings(stream_findings)
+    return matches, batch

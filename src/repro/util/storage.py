@@ -28,6 +28,32 @@ def dump_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
     return count
 
 
+def dump_json(path: str, obj: Any) -> str:
+    """Atomically write one JSON document (gzip-aware); returns the path.
+
+    Used for single-document state (stream checkpoints) where JSONL's
+    record-per-line framing does not fit. The write goes through a ``.tmp``
+    sibling plus :func:`os.replace` so a crash mid-write never leaves a
+    truncated document behind.
+    """
+    opener = gzip.open if path.endswith(".gz") else open
+    tmp_path = path + ".tmp"
+    with opener(tmp_path, "wt", encoding="utf-8") as handle:
+        json.dump(obj, handle, separators=(",", ":"), sort_keys=True)
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_json(path: str) -> Any:
+    """Read one JSON document written by :func:`dump_json`."""
+    opener = gzip.open if path.endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: malformed JSON document") from exc
+
+
 def load_jsonl(path: str) -> Iterator[Dict[str, Any]]:
     """Stream records back from a JSONL file written by :func:`dump_jsonl`."""
     opener = gzip.open if path.endswith(".gz") else open

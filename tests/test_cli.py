@@ -1,5 +1,7 @@
 """Tests for the command-line interface (in-process, tiny worlds)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,24 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report", "--experiment", "fig99"])
+
+    def test_world_flags_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["watch", "--scale", "0.02", "--seed", "7"])
+        assert args.scale == 0.02
+        assert args.seed == 7
+
+    def test_world_flags_after_subcommand_keep_defaults_when_absent(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.scale == 0.1
+        assert args.seed == 20231024
+
+    def test_watch_defaults(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.checkpoint_every == 30
+        assert args.days is None
+        assert args.format == "text"
 
 
 class TestCommands:
@@ -86,6 +106,18 @@ class TestCommands:
     def test_advise_invalid_date(self, capsys):
         assert main(ARGS + ["advise", "x.com", "--acquired", "soon"]) == 2
 
+    def test_detect_format_json(self, capsys):
+        assert main(ARGS + ["detect", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "Table 4" in payload["title"]
+        assert payload["columns"]
+        assert payload["rows"]
+
+    def test_report_format_json(self, capsys):
+        assert main(ARGS + ["report", "--experiment", "fig6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"]
+
     def test_advise_exposed_domain_exit_code(self, small_world, capsys):
         # Find a domain with a genuine pre-acquisition exposure, then drive
         # the CLI path against a same-seed world.
@@ -101,3 +133,43 @@ class TestCommands:
         assert target is not None
         report = advisor.check_acquisition(target[0], target[1])
         assert not report.is_clean
+
+
+class TestWatch:
+    def test_watch_verify_matches_batch(self, capsys):
+        assert main(ARGS + ["watch", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+        assert "Stream metrics" in out
+
+    def test_watch_partial_run_is_provisional(self, capsys):
+        assert main(ARGS + ["watch", "--days", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out
+
+    def test_watch_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(ARGS + ["watch", "--days", "120", "--checkpoint-dir", ckpt,
+                            "--checkpoint-every", "30"]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["watch", "--checkpoint-dir", ckpt, "--resume",
+                            "--verify", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["verified_equivalent"] is True
+        assert payload["stats"]["resumed_from_day"] is not None
+
+    def test_watch_resume_mismatched_world_clean_error(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(ARGS + ["watch", "--days", "60", "--checkpoint-dir", ckpt]) == 0
+        code = main(["--scale", "0.02", "--seed", "8", "watch",
+                     "--checkpoint-dir", ckpt, "--resume"])
+        assert code == 2
+        assert "different dataset bundle" in capsys.readouterr().err
+
+    def test_watch_format_json(self, capsys):
+        assert main(ARGS + ["watch", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["table4"]
+        assert sum(payload["stats"]["events_by_type"].values()) > 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.pki.ca import CertificateAuthority, IssuancePolicy
+from repro.revocation.crl import merge_crl_series
 from repro.revocation.fetcher import CrlFetcher, FailureProfile, FetchOutcome
 from repro.revocation.publisher import CaCrlPublisher, DisclosureList
 from repro.util.dates import day
@@ -78,3 +79,120 @@ class TestFetcher:
     def test_fetch_range_returns_total(self, disclosure):
         fetcher = CrlFetcher(disclosure, RngStream(1, "f"))
         assert fetcher.fetch_range(T0, T0 + 4) == 10  # 2 CAs x 5 days
+
+
+class TestRetries:
+    def test_retries_recover_transient_rate_limits(self, disclosure):
+        flaky = {"GoodOp": FailureProfile(rate_limit_probability=0.5)}
+        single = CrlFetcher(disclosure, RngStream(1, "f"), profiles=flaky)
+        single.fetch_range(T0, T0 + 99)
+        retried = CrlFetcher(
+            disclosure, RngStream(1, "f"), profiles=flaky, max_attempts=5
+        )
+        retried.fetch_range(T0, T0 + 99)
+        assert (
+            retried.stats_by_operator["GoodOp"].coverage
+            > single.stats_by_operator["GoodOp"].coverage
+        )
+        assert retried.stats_by_operator["GoodOp"].coverage > 0.9
+        assert retried.stats_by_operator["GoodOp"].retries > 0
+
+    def test_retry_exhaustion_still_fails(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"GoodOp": FailureProfile(rate_limit_probability=1.0)},
+            max_attempts=4,
+        )
+        result = fetcher.fetch_day(T0)
+        stats = fetcher.stats_by_operator["GoodOp"]
+        assert stats.outcomes == {FetchOutcome.RATE_LIMITED.value: 1}
+        assert stats.retries == 3  # attempt 1 + 3 retries, all exhausted
+        assert any(outcome is FetchOutcome.RATE_LIMITED for _, outcome in result.failures)
+
+    def test_blocked_servers_not_retried(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"BlockedOp": FailureProfile(blocked=True)},
+            max_attempts=10,
+        )
+        fetcher.fetch_range(T0, T0 + 4)
+        assert fetcher.stats_by_operator["BlockedOp"].retries == 0
+
+    def test_parse_errors_not_retried(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"GoodOp": FailureProfile(parse_error_probability=1.0)},
+            max_attempts=10,
+        )
+        fetcher.fetch_range(T0, T0 + 4)
+        stats = fetcher.stats_by_operator["GoodOp"]
+        assert stats.retries == 0
+        assert stats.outcomes == {FetchOutcome.PARSE_ERROR.value: 5}
+
+    def test_default_single_attempt_never_retries(self, disclosure):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"GoodOp": FailureProfile(rate_limit_probability=1.0)},
+        )
+        fetcher.fetch_range(T0, T0 + 9)
+        assert fetcher.stats_by_operator["GoodOp"].retries == 0
+
+    def test_max_attempts_clamped_to_one(self, disclosure):
+        fetcher = CrlFetcher(disclosure, RngStream(1, "f"), max_attempts=0)
+        assert fetcher.max_attempts == 1
+
+
+class TestPartialSeries:
+    """Failed fetch days leave gaps; because CRLs are cumulative, a later
+    successful fetch still recovers revocations missed during the outage."""
+
+    @pytest.fixture()
+    def flaky_world(self, key_store):
+        ca = CertificateAuthority(
+            "Flaky CA", key_store,
+            policy=IssuancePolicy(require_validation=False),
+            operator="FlakyOp",
+        )
+        publisher = CaCrlPublisher(ca)
+        disclosure = DisclosureList()
+        disclosure.disclose(publisher)
+        cert = ca.issue(
+            ["flaky.example"], key_store.generate("flaky", T0 - 30),
+            issuance_day=T0 - 30, skip_validation=True,
+        )
+        return disclosure, publisher, cert
+
+    def test_gap_days_recovered_by_later_fetch(self, flaky_world):
+        disclosure, publisher, cert = flaky_world
+        # Every day up to T0+5 is rate limited; the revocation lands in the
+        # outage window and is only seen once fetching recovers.
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(1, "f"),
+            profiles={"FlakyOp": FailureProfile(rate_limit_probability=1.0)},
+        )
+        fetcher.fetch_range(T0, T0 + 5)
+        publisher.revoke(cert, T0 + 3)
+        assert fetcher.collected == []
+
+        fetcher._profiles = {}  # outage ends
+        fetcher.fetch_day(T0 + 6)
+        merged = merge_crl_series(fetcher.collected)
+        entry = merged[(cert.authority_key_id, cert.serial)]
+        assert entry.revocation_day == T0 + 3
+        stats = fetcher.stats_by_operator["FlakyOp"]
+        assert stats.coverage == pytest.approx(1 / 7)
+
+    def test_partial_series_merge_keeps_earliest_revocation_day(self, flaky_world):
+        disclosure, publisher, cert = flaky_world
+        publisher.revoke(cert, T0 + 1)
+        fetcher = CrlFetcher(disclosure, RngStream(1, "f"))
+        fetcher.fetch_day(T0 + 2)
+        fetcher.fetch_day(T0 + 9)  # gap between the two successful days
+        merged = merge_crl_series(fetcher.collected)
+        assert merged[(cert.authority_key_id, cert.serial)].revocation_day == T0 + 1
+        assert len(fetcher.collected) == 2

@@ -1,0 +1,146 @@
+"""Acceptance criterion: kill at an arbitrary day + resume == uninterrupted.
+
+A replay killed mid-stream and resumed from its checkpoint must converge to
+the identical findings set (and matching statistics) as an uninterrupted
+run — which itself equals the batch pipeline. Also covers the checkpoint
+store itself: atomicity, format versioning, and bundle-mismatch detection.
+"""
+
+import os
+
+import pytest
+
+from repro.stream import (
+    CheckpointMismatchError,
+    CheckpointStore,
+    StreamEngine,
+    canonical_findings,
+    verify_equivalence,
+)
+from repro.stream.checkpoint import CHECKPOINT_FORMAT_VERSION
+from repro.util.storage import dump_json
+
+
+@pytest.fixture(scope="module")
+def small_bundle(small_world):
+    return small_world.to_bundle()
+
+
+@pytest.fixture(scope="module")
+def cutoff(small_world):
+    return small_world.config.timeline.revocation_cutoff
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(small_bundle, cutoff):
+    return StreamEngine(small_bundle, revocation_cutoff_day=cutoff).replay()
+
+
+def _kill_and_resume(bundle, cutoff, tmp_path, kill_after_days, every=25):
+    store = CheckpointStore(str(tmp_path))
+    partial = StreamEngine(
+        bundle,
+        revocation_cutoff_day=cutoff,
+        checkpoint_store=store,
+        checkpoint_every_days=every,
+    ).replay(max_days=kill_after_days)
+    assert not partial.complete
+    resumed = StreamEngine(
+        bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+    ).replay(resume=True)
+    assert resumed.complete
+    return partial, resumed
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("kill_after_days", [1, 200, 1400])
+    def test_resume_converges_to_uninterrupted(
+        self, small_bundle, cutoff, tmp_path, uninterrupted, kill_after_days
+    ):
+        partial, resumed = _kill_and_resume(
+            small_bundle, cutoff, tmp_path, kill_after_days
+        )
+        assert canonical_findings(resumed.findings) == canonical_findings(
+            uninterrupted.findings
+        )
+        assert resumed.revocation_stats == uninterrupted.revocation_stats
+        assert resumed.stats.resumed_from_day == partial.cursor_day
+
+    def test_resume_equals_batch(self, small_bundle, cutoff, tmp_path):
+        _, resumed = _kill_and_resume(small_bundle, cutoff, tmp_path, 700)
+        ok, _ = verify_equivalence(
+            small_bundle, resumed.findings, revocation_cutoff_day=cutoff
+        )
+        assert ok
+
+    def test_double_kill_double_resume(self, small_bundle, cutoff, tmp_path, uninterrupted):
+        store = CheckpointStore(str(tmp_path))
+        StreamEngine(
+            small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+        ).replay(max_days=300)
+        second = StreamEngine(
+            small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+        ).replay(max_days=400, resume=True)
+        assert not second.complete
+        final = StreamEngine(
+            small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+        ).replay(resume=True)
+        assert final.complete
+        assert canonical_findings(final.findings) == canonical_findings(
+            uninterrupted.findings
+        )
+
+    def test_cumulative_day_count_survives_resume(self, small_bundle, cutoff, tmp_path, uninterrupted):
+        _, resumed = _kill_and_resume(small_bundle, cutoff, tmp_path, 500)
+        assert resumed.stats.days_processed == uninterrupted.stats.days_processed
+
+    def test_resume_without_checkpoint_is_fresh_run(self, small_bundle, cutoff, tmp_path, uninterrupted):
+        store = CheckpointStore(str(tmp_path / "empty"))
+        result = StreamEngine(
+            small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+        ).replay(resume=True)
+        assert result.complete
+        assert result.stats.resumed_from_day is None
+        assert canonical_findings(result.findings) == canonical_findings(
+            uninterrupted.findings
+        )
+
+    def test_mismatched_bundle_rejected(self, small_bundle, cutoff, tmp_path):
+        from repro.core.pipeline import DatasetBundle
+
+        store = CheckpointStore(str(tmp_path))
+        StreamEngine(
+            small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+        ).replay(max_days=100)
+        other = DatasetBundle(corpus=small_bundle.corpus)  # different datasets
+        with pytest.raises(CheckpointMismatchError):
+            StreamEngine(
+                other, revocation_cutoff_day=cutoff, checkpoint_store=store
+            ).replay(resume=True)
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        assert store.load() is None
+        store.save({"cursor_day": 42, "detectors": {}})
+        loaded = store.load()
+        assert loaded["cursor_day"] == 42
+        assert loaded["format_version"] == CHECKPOINT_FORMAT_VERSION
+
+    def test_save_is_atomic(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"cursor_day": 1})
+        assert not os.path.exists(store.path + ".tmp")
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"cursor_day": 1})
+        store.clear()
+        assert store.load() is None
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        dump_json(store.path, {"format_version": 999})
+        with pytest.raises(CheckpointMismatchError, match="v999"):
+            store.load()

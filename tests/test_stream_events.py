@@ -1,0 +1,171 @@
+"""Tests for stream event types, ordering, the bus, and the stream builder."""
+
+import pytest
+
+from repro.core.stale import StaleCertificate, StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.core.pipeline import DatasetBundle
+from repro.revocation.crl import CertificateRevocationList, CrlEntry
+from repro.revocation.reasons import RevocationReason
+from repro.stream import (
+    CrlDeltaPublished,
+    CtEntryLogged,
+    DnsSnapshotTaken,
+    EventBus,
+    EventType,
+    StaleFindingEmitted,
+    StreamStats,
+    WhoisCreationObserved,
+    build_event_stream,
+)
+from repro.dns.snapshots import DailySnapshot, SnapshotStore
+from repro.util.dates import day
+from tests.conftest import make_cert
+
+T0 = day(2021, 1, 1)
+
+
+def _bundle(certs=(), crls=(), whois=(), snapshots=None):
+    corpus = CertificateCorpus()
+    corpus.ingest(certs)
+    return DatasetBundle(
+        corpus=corpus.finalize(),
+        crls=list(crls),
+        whois_creation_pairs=list(whois),
+        dns_snapshots=snapshots,
+    )
+
+
+class TestOrdering:
+    def test_same_day_dispatch_priority(self):
+        cert = make_cert(not_before=T0)
+        events = [
+            DnsSnapshotTaken(day=T0, snapshot=DailySnapshot(T0)),
+            WhoisCreationObserved(day=T0, domain="a.com", creation_day=T0),
+            CrlDeltaPublished(day=T0, authority_key_id="akid"),
+            CtEntryLogged(day=T0, certificate=cert),
+        ]
+        ordered = sorted(events, key=lambda e: e.sort_key())
+        assert [e.event_type for e in ordered] == [
+            EventType.CT_ENTRY_LOGGED,
+            EventType.CRL_DELTA_PUBLISHED,
+            EventType.WHOIS_CREATION_OBSERVED,
+            EventType.DNS_SNAPSHOT_TAKEN,
+        ]
+
+    def test_day_dominates_priority(self):
+        late_ct = CtEntryLogged(day=T0 + 1, certificate=make_cert(not_before=T0 + 1))
+        early_dns = DnsSnapshotTaken(day=T0, snapshot=DailySnapshot(T0))
+        assert early_dns.sort_key() < late_ct.sort_key()
+
+    def test_sequence_breaks_ties(self):
+        first = WhoisCreationObserved(day=T0, sequence=0, domain="a.com", creation_day=T0)
+        second = WhoisCreationObserved(day=T0, sequence=1, domain="b.com", creation_day=T0)
+        assert first.sort_key() < second.sort_key()
+
+
+class TestEventBus:
+    def test_fifo_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EventType.WHOIS_CREATION_OBSERVED, lambda e: seen.append(e.domain))
+        bus.publish_all(
+            WhoisCreationObserved(day=T0, sequence=i, domain=f"d{i}.com", creation_day=T0)
+            for i in range(3)
+        )
+        assert bus.queue_depth == 3
+        assert bus.drain() == 3
+        assert seen == ["d0.com", "d1.com", "d2.com"]
+        assert bus.queue_depth == 0
+
+    def test_handlers_may_publish_while_draining(self):
+        bus = EventBus()
+        finding = StaleCertificate(
+            certificate=make_cert(),
+            staleness_class=StalenessClass.REVOKED_ALL,
+            invalidation_day=T0,
+        )
+        seen = []
+
+        def on_whois(event):
+            bus.publish(StaleFindingEmitted(day=event.day, finding=finding))
+
+        bus.subscribe(EventType.WHOIS_CREATION_OBSERVED, on_whois)
+        bus.subscribe(EventType.STALE_FINDING, lambda e: seen.append(e.finding))
+        bus.publish(WhoisCreationObserved(day=T0, domain="a.com", creation_day=T0))
+        assert bus.drain() == 2
+        assert seen == [finding]
+
+    def test_stats_tap_counts_and_depth(self):
+        stats = StreamStats()
+        bus = EventBus(stats)
+        bus.subscribe(EventType.DNS_SNAPSHOT_TAKEN, lambda e: None)
+        bus.publish(DnsSnapshotTaken(day=T0, snapshot=DailySnapshot(T0)))
+        bus.publish(DnsSnapshotTaken(day=T0 + 1, snapshot=DailySnapshot(T0 + 1)))
+        bus.drain()
+        assert stats.events_by_type == {EventType.DNS_SNAPSHOT_TAKEN.value: 2}
+        assert stats.max_queue_depth == 2
+        assert stats.events_total == 2
+        assert stats.mean_latency_ms(EventType.DNS_SNAPSHOT_TAKEN.value) >= 0.0
+
+
+class TestBuildEventStream:
+    def test_events_sorted_and_ct_at_not_before(self):
+        certs = [make_cert(not_before=T0 + offset) for offset in (30, 0, 10)]
+        events = build_event_stream(_bundle(certs=certs))
+        assert [e.sort_key() for e in events] == sorted(e.sort_key() for e in events)
+        ct_days = [e.day for e in events if isinstance(e, CtEntryLogged)]
+        assert ct_days == [T0, T0 + 10, T0 + 30]
+
+    def test_crl_republication_compacted(self):
+        entry = CrlEntry(serial=1, revocation_day=T0 + 5, reason=RevocationReason.KEY_COMPROMISE)
+        crls = [
+            CertificateRevocationList(
+                issuer_name="CA", authority_key_id="akid", this_update=T0 + 5 + i,
+                next_update=T0 + 6 + i, crl_number=i, entries=[entry],
+            )
+            for i in range(4)
+        ]
+        events = build_event_stream(_bundle(crls=crls))
+        deltas = [e for e in events if isinstance(e, CrlDeltaPublished)]
+        assert len(deltas) == 1  # three republications carried nothing new
+        assert deltas[0].entries == (entry,)
+
+    def test_crl_earlier_day_republication_re_emitted(self):
+        crls = [
+            CertificateRevocationList(
+                issuer_name="CA", authority_key_id="akid", this_update=T0,
+                next_update=T0 + 1, crl_number=0,
+                entries=[CrlEntry(serial=1, revocation_day=T0)],
+            ),
+            CertificateRevocationList(
+                issuer_name="CA", authority_key_id="akid", this_update=T0 + 1,
+                next_update=T0 + 2, crl_number=1,
+                entries=[CrlEntry(serial=1, revocation_day=T0 - 10)],
+            ),
+        ]
+        deltas = [
+            e for e in build_event_stream(_bundle(crls=crls))
+            if isinstance(e, CrlDeltaPublished)
+        ]
+        assert len(deltas) == 2  # the glitch improves the revocation day
+        assert deltas[1].entries[0].revocation_day == T0 - 10
+
+    def test_whois_pairs_deduplicated(self):
+        whois = [("a.com", T0), ("a.com", T0), ("a.com", T0 + 9), ("b.com", T0)]
+        events = [
+            e for e in build_event_stream(_bundle(whois=whois))
+            if isinstance(e, WhoisCreationObserved)
+        ]
+        assert len(events) == 3
+        assert all(e.day == e.creation_day for e in events)
+
+    def test_single_snapshot_produces_no_dns_events(self):
+        store = SnapshotStore()
+        store.put(DailySnapshot(T0))
+        events = build_event_stream(_bundle(snapshots=store))
+        assert events == []
+
+    def test_repr_mentions_iso_day(self):
+        event = WhoisCreationObserved(day=day(2021, 6, 15), domain="a.com", creation_day=T0)
+        assert "2021-06-15" in repr(event)
