@@ -1,0 +1,88 @@
+"""Performance benchmark — sharded parallel engine vs single-worker batch.
+
+Not a paper experiment: quantifies the payoff of the sharding layer. The
+parallel pipeline partitions the bundle along two axes (authority-key-id
+for the CRL join, registered-domain components for the WHOIS/DNS joins)
+and fans the shards across a process pool, so on a multi-core box the
+wall clock should drop roughly linearly with workers. The report records
+certificates/sec throughput for both engines and the speedup factor.
+
+The hard ``speedup >= 2x`` acceptance gate only fires on hosts with at
+least 4 CPUs: on a 1-core container the process pool cannot beat the
+serial run no matter how good the sharding is, so there the numbers are
+reported but the assertion is skipped. Correctness (parallel == batch
+findings, summed revocation stats) is asserted unconditionally — a
+larger-world guard beyond the tier-1 equivalence tests.
+"""
+
+import os
+import time
+
+from repro import MeasurementPipeline, ParallelMeasurementPipeline
+from repro.analysis.report import render_table
+from repro.stream.engine import canonical_findings
+
+#: Workers used for the parallel leg (capped to the host's core count so a
+#: small CI box is not oversubscribed into pure context-switch overhead).
+PARALLEL_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def test_perf_parallel_vs_batch(benchmark, bench_world, emit_report):
+    bundle = bench_world.to_bundle()
+    cutoff = bench_world.config.timeline.revocation_cutoff
+
+    def _parallel_run():
+        return ParallelMeasurementPipeline(
+            bundle, workers=PARALLEL_WORKERS, revocation_cutoff_day=cutoff
+        ).run()
+
+    result = benchmark.pedantic(_parallel_run, rounds=3, iterations=1)
+    # benchmark.stats is None under --benchmark-disable; keep the
+    # correctness assertions meaningful either way.
+    parallel_seconds = benchmark.stats["mean"] if benchmark.stats else 0.0
+
+    started = time.perf_counter()
+    batch = MeasurementPipeline(bundle, revocation_cutoff_day=cutoff).run()
+    batch_seconds = time.perf_counter() - started
+
+    assert canonical_findings(result.findings) == canonical_findings(batch.findings)
+    assert result.revocation_stats == batch.revocation_stats
+    assert result.shard_stats is not None
+
+    certificates = len(bundle.corpus)
+    speedup = batch_seconds / parallel_seconds if parallel_seconds else 0.0
+    rows = [
+        ("certificates", f"{certificates:,}"),
+        ("workers / shards", f"{PARALLEL_WORKERS} / {result.shard_stats.num_shards}"),
+        ("executor", result.shard_stats.executor),
+        ("findings (parallel == batch)", len(result.findings)),
+        ("batch seconds (1 round)", f"{batch_seconds:.2f}"),
+        ("parallel mean seconds (3 rounds)", f"{parallel_seconds:.2f}"),
+        (
+            "batch certificates / second",
+            f"{certificates / batch_seconds:,.0f}" if batch_seconds else "n/a",
+        ),
+        (
+            "parallel certificates / second",
+            f"{certificates / parallel_seconds:,.0f}" if parallel_seconds else "n/a",
+        ),
+        ("speedup over single worker", f"{speedup:.2f}x" if speedup else "n/a"),
+        ("partition seconds", f"{result.shard_stats.partition_seconds:.2f}"),
+        ("merge seconds", f"{result.shard_stats.merge_seconds:.2f}"),
+        ("host cpu count", os.cpu_count() or 1),
+    ]
+    emit_report(
+        "perf_parallel",
+        render_table(
+            ["Quantity", "Value"],
+            rows,
+            title="Performance: sharded parallel engine vs batch pipeline "
+            "(bench world)",
+        ),
+    )
+
+    if parallel_seconds and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"parallel engine only {speedup:.2f}x faster than batch on a "
+            f"{os.cpu_count()}-core host"
+        )

@@ -35,16 +35,20 @@ from repro.core import (
     StaleFindings,
     StalenessClass,
 )
+from repro.core.detectors import Detector
 from repro.core.pipeline import DatasetBundle
 from repro.ecosystem import WorldConfig, WorldDatasets, WorldSimulator, simulate_world
+from repro.parallel import ParallelMeasurementPipeline
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Detector",
     "KeyCompromiseDetector",
     "LifetimePolicySimulator",
     "ManagedTlsDetector",
     "MeasurementPipeline",
+    "ParallelMeasurementPipeline",
     "PipelineResult",
     "RegistrantChangeDetector",
     "StaleCertificate",

@@ -4,6 +4,7 @@ Drives the full reproduction from a shell::
 
     python -m repro simulate  --scale 0.1
     python -m repro detect    --scale 0.1 --format json
+    python -m repro detect    --scale 0.1 --workers 4 --bundle /tmp/bundle
     python -m repro lifetime  --scale 0.1 --caps 45,90,215
     python -m repro report    --scale 0.1 --experiment fig6
     python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
@@ -56,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--scale", type=float, default=argparse.SUPPRESS, help="world size multiplier"
     )
+    # Dataset/engine options shared by the pipeline-running subcommands.
+    data = argparse.ArgumentParser(add_help=False)
+    data.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help="dataset bundle directory: loaded when it exists, otherwise the "
+        "simulated world is saved there (repeat runs skip re-simulation)",
+    )
+    data.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run detection sharded across N worker processes (default 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser(
@@ -63,11 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     detect = sub.add_parser(
-        "detect", parents=[common], help="run the three detectors; print Table 4"
-    )
-    detect.add_argument(
-        "--bundle", default=None,
-        help="load a saved dataset bundle directory instead of simulating",
+        "detect", parents=[common, data],
+        help="run the three detectors; print Table 4",
     )
     detect.add_argument(
         "--save-findings", default=None, metavar="PATH",
@@ -83,12 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     save.add_argument("--dir", required=True, help="output directory")
 
-    lifetime = sub.add_parser("lifetime", parents=[common], help="lifetime-cap policy analysis (Section 6)")
+    lifetime = sub.add_parser(
+        "lifetime", parents=[common, data],
+        help="lifetime-cap policy analysis (Section 6)",
+    )
     lifetime.add_argument(
         "--caps", default="45,90,215", help="comma-separated caps in days"
     )
 
-    report = sub.add_parser("report", parents=[common], help="print one reproduced table/figure")
+    report = sub.add_parser(
+        "report", parents=[common, data], help="print one reproduced table/figure"
+    )
     report.add_argument("--experiment", choices=_EXPERIMENTS, default="table4")
     report.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -143,11 +157,40 @@ def _world(args):
     return simulate_world(WorldConfig(seed=args.seed).scaled(args.scale))
 
 
-def _pipeline_result(world):
-    return MeasurementPipeline(
-        world.to_bundle(),
-        revocation_cutoff_day=world.config.timeline.revocation_cutoff,
-    ).run()
+def _bundle_and_cutoff(args):
+    """The one dataset loader every pipeline-running subcommand shares.
+
+    With ``--bundle DIR``: load the bundle if one is saved there, otherwise
+    simulate the world and save its bundle to DIR (so the next invocation
+    skips re-simulation). Without it: simulate, as before.
+    """
+    import os
+
+    bundle_dir = getattr(args, "bundle", None)
+    if bundle_dir and os.path.exists(os.path.join(bundle_dir, "manifest.json")):
+        from repro.ecosystem.persistence import load_bundle
+        from repro.ecosystem.timeline import DEFAULT_TIMELINE
+
+        print(f"loading bundle from {bundle_dir} ...", file=sys.stderr)
+        return load_bundle(bundle_dir), DEFAULT_TIMELINE.revocation_cutoff
+    world = _world(args)
+    bundle = world.to_bundle()
+    if bundle_dir:
+        from repro.ecosystem.persistence import save_bundle
+
+        save_bundle(bundle, bundle_dir)
+        print(f"saved bundle to {bundle_dir}", file=sys.stderr)
+    return bundle, world.config.timeline.revocation_cutoff
+
+
+def _pipeline_result(args):
+    """Run the measurement pipeline for *args* (honors --bundle/--workers)."""
+    bundle, cutoff = _bundle_and_cutoff(args)
+    return MeasurementPipeline.run_bundle(
+        bundle,
+        revocation_cutoff_day=cutoff,
+        workers=getattr(args, "workers", 1),
+    )
 
 
 def _wants_json(args) -> bool:
@@ -176,18 +219,7 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_detect(args) -> int:
-    if getattr(args, "bundle", None):
-        from repro.ecosystem.persistence import load_bundle
-        from repro.ecosystem.timeline import DEFAULT_TIMELINE
-
-        print(f"loading bundle from {args.bundle} ...", file=sys.stderr)
-        bundle = load_bundle(args.bundle)
-        result = MeasurementPipeline(
-            bundle, revocation_cutoff_day=DEFAULT_TIMELINE.revocation_cutoff
-        ).run()
-    else:
-        world = _world(args)
-        result = _pipeline_result(world)
+    result = _pipeline_result(args)
     if getattr(args, "save_findings", None):
         from repro.util.storage import dump_jsonl
 
@@ -197,17 +229,35 @@ def cmd_detect(args) -> int:
         )
         print(f"wrote {written} findings to {args.save_findings}", file=sys.stderr)
     rows = build_table4(result)
-    _print_rows(
-        args,
-        ["Method", "Date range", "Daily certs", "Total certs",
-         "Daily e2LDs", "Total e2LDs"],
-        [
-            (r.method, r.date_range, round(r.daily_certs, 2), r.total_certs,
-             round(r.daily_e2lds, 2), r.total_e2lds)
-            for r in rows
-        ],
-        "Stale certificate detection (Table 4)",
-    )
+    columns = ["Method", "Date range", "Daily certs", "Total certs",
+               "Daily e2LDs", "Total e2LDs"]
+    table_rows = [
+        (r.method, r.date_range, round(r.daily_certs, 2), r.total_certs,
+         round(r.daily_e2lds, 2), r.total_e2lds)
+        for r in rows
+    ]
+    title = "Stale certificate detection (Table 4)"
+    if _wants_json(args):
+        _print_json(
+            {
+                "title": title,
+                "columns": columns,
+                "rows": [list(r) for r in table_rows],
+                "shard_stats": (
+                    result.shard_stats.to_record()
+                    if result.shard_stats is not None
+                    else None
+                ),
+            }
+        )
+    else:
+        print(render_table(columns, table_rows, title=title))
+        if result.shard_stats is not None:
+            print(render_table(
+                ["Shard quantity", "Value"],
+                result.shard_stats.summary_rows(),
+                title="Parallel shard stats",
+            ))
     return 0
 
 
@@ -226,8 +276,7 @@ def cmd_lifetime(args) -> int:
     if not caps or any(cap <= 0 for cap in caps):
         print("error: --caps must be positive integers", file=sys.stderr)
         return 2
-    world = _world(args)
-    result = _pipeline_result(world)
+    result = _pipeline_result(args)
     simulator = LifetimePolicySimulator(result.findings)
     rows = []
     for cls in (
@@ -261,20 +310,21 @@ def cmd_lifetime(args) -> int:
 def cmd_report(args) -> int:
     if args.experiment in ("table1", "table2"):
         return _print_taxonomy(args, args.experiment)
-    world = _world(args)
+    # Tables 3 and 7 describe the collection itself, not the findings, so
+    # they always need a simulated world (a bare bundle is not enough).
     if args.experiment == "table3":
-        rows = build_table3(world)
+        rows = build_table3(_world(args))
         _print_rows(args, ["Dataset", "Used for", "Date range", "Size"],
                     [(r.dataset, r.used_for, r.date_range, r.size) for r in rows],
                     "Table 3")
         return 0
     if args.experiment == "table7":
-        rows = build_table7(world.crl_fetcher)
+        rows = build_table7(_world(args).crl_fetcher)
         _print_rows(args, ["CA operator", "Coverage"],
                     [(r.ca_operator, r.coverage_text) for r in rows],
                     "Table 7")
         return 0
-    result = _pipeline_result(world)
+    result = _pipeline_result(args)
     if args.experiment == "summary":
         from repro.analysis.summary import render_summary
 

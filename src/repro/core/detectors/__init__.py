@@ -10,22 +10,36 @@ Each detector mirrors one methodology subsection of the paper:
 * :class:`ManagedTlsDetector` — Section 4.3: day-over-day disappearance of
   Cloudflare NS/CNAME delegation for domains holding Cloudflare-managed
   certificates.
+
+All three (and their incremental streaming counterparts in
+:mod:`repro.stream.detectors`) satisfy the :class:`Detector` protocol:
+``detect(inputs, findings)`` plus a ``stats`` accounting attribute. The
+batch pipeline and the stream engine iterate detector registries of this
+shape rather than hard-coding the classes.
 """
 
+from repro.core.detectors.base import Detector
 from repro.core.detectors.key_compromise import KeyCompromiseDetector, RevocationJoinStats
-from repro.core.detectors.registrant_change import RegistrantChangeDetector
+from repro.core.detectors.registrant_change import (
+    RegistrantChangeDetector,
+    RegistrantJoinStats,
+)
 from repro.core.detectors.managed_tls import (
     CLOUDFLARE_MANAGED_SAN_SUFFIX,
+    DepartureJoinStats,
     ManagedTlsDetector,
     is_cloudflare_managed_certificate,
 )
 from repro.core.detectors.first_party import KeyRotationDetector, Rotation
 
 __all__ = [
+    "Detector",
     "KeyCompromiseDetector",
     "RevocationJoinStats",
     "RegistrantChangeDetector",
+    "RegistrantJoinStats",
     "ManagedTlsDetector",
+    "DepartureJoinStats",
     "CLOUDFLARE_MANAGED_SAN_SUFFIX",
     "is_cloudflare_managed_certificate",
     "KeyRotationDetector",

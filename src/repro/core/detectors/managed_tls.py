@@ -55,6 +55,15 @@ class Departure:
     removed_targets: FrozenSet[str]
 
 
+@dataclass
+class DepartureJoinStats:
+    """Accounting for the departure/managed-certificate join."""
+
+    managed_certificates_indexed: int = 0
+    departures_detected: int = 0
+    findings: int = 0
+
+
 def find_departures(store: SnapshotStore) -> List[Departure]:
     """Scan consecutive snapshot pairs for Cloudflare delegation loss.
 
@@ -132,6 +141,7 @@ class ManagedTlsDetector:
     def __init__(self, corpus: CertificateCorpus) -> None:
         self._corpus = corpus
         self._managed_by_domain: Optional[Dict[str, List[Certificate]]] = None
+        self.stats = DepartureJoinStats()
 
     def _index(self) -> Dict[str, List[Certificate]]:
         """Customer domain -> Cloudflare-managed certificates covering it."""
@@ -154,8 +164,15 @@ class ManagedTlsDetector:
     ) -> StaleFindings:
         out = findings if findings is not None else StaleFindings()
         index = self._index()
+        departures = find_departures(store)
+        self.stats = DepartureJoinStats(
+            managed_certificates_indexed=len(
+                {c.dedup_fingerprint() for certs in index.values() for c in certs}
+            ),
+            departures_detected=len(departures),
+        )
         emitted: Set[Tuple[str, str, Day]] = set()
-        for departure in find_departures(store):
+        for departure in departures:
             for domain, certificates in _domains_under(index, departure.apex):
                 for certificate in certificates:
                     if not certificate.is_valid_on(departure.departure_day):
@@ -168,6 +185,7 @@ class ManagedTlsDetector:
                     if key in emitted:
                         continue
                     emitted.add(key)
+                    self.stats.findings += 1
                     out.add(
                         StaleCertificate(
                             certificate=certificate,

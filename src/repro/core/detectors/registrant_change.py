@@ -35,6 +35,15 @@ class ReRegistration:
     previous_creation_day: Day
 
 
+@dataclass
+class RegistrantJoinStats:
+    """Accounting for the creation-date/validity join."""
+
+    re_registration_events: int = 0
+    events_joining_certificates: int = 0
+    findings: int = 0
+
+
 def find_re_registrations(
     creation_pairs: Iterable[Tuple[str, Day]],
     tlds: Optional[Sequence[str]] = ("com", "net"),
@@ -67,6 +76,7 @@ class RegistrantChangeDetector:
         self._corpus = corpus
         self._tlds = tlds
         self._certs_by_e2ld: Optional[Dict[str, List[Certificate]]] = None
+        self.stats = RegistrantJoinStats()
 
     def _index(self) -> Dict[str, List[Certificate]]:
         """e2LD -> certificates with a SAN under that e2LD."""
@@ -87,11 +97,15 @@ class RegistrantChangeDetector:
         out = findings if findings is not None else StaleFindings()
         events = find_re_registrations(creation_pairs, self._tlds)
         index = self._index()
+        self.stats = RegistrantJoinStats(re_registration_events=len(events))
         emitted = set()
         for event in events:
             registrable = e2ld(event.domain)
             lookup = registrable if registrable is not None else event.domain
-            for certificate in index.get(lookup, ()):  # candidates by e2LD
+            candidates = index.get(lookup, ())
+            if candidates:
+                self.stats.events_joining_certificates += 1
+            for certificate in candidates:  # candidates by e2LD
                 if not certificate.validity.contains(event.creation_day, strict=True):
                     continue
                 if not _covers_registration(certificate, event.domain):
@@ -100,6 +114,7 @@ class RegistrantChangeDetector:
                 if key in emitted:
                     continue
                 emitted.add(key)
+                self.stats.findings += 1
                 out.add(
                     StaleCertificate(
                         certificate=certificate,

@@ -1,0 +1,48 @@
+"""Sharded parallel detection engine.
+
+Partitions a :class:`~repro.core.pipeline.DatasetBundle` into join-closed
+shards (:mod:`~repro.parallel.sharding`), runs the Section 4 detectors per
+shard — in-process or across a ``ProcessPoolExecutor``
+(:mod:`~repro.parallel.executor`) — and deterministically merges the
+per-shard findings and join stats back into a single
+:class:`~repro.core.pipeline.PipelineResult`
+(:mod:`~repro.parallel.pipeline`), proven identical to the unsharded
+batch run. Per-shard sizes and timings are reported as
+:class:`~repro.parallel.stats.ShardStats` on the result.
+"""
+
+from repro.parallel.executor import (
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ShardOutcome,
+    WorkerConfig,
+    run_shard,
+)
+from repro.parallel.pipeline import ParallelMeasurementPipeline, canonical_order_key
+from repro.parallel.sharding import (
+    BundleShard,
+    ShardCorpus,
+    ShardPlan,
+    domain_key,
+    partition_bundle,
+    stable_hash,
+)
+from repro.parallel.stats import ShardRecord, ShardStats
+
+__all__ = [
+    "ParallelMeasurementPipeline",
+    "canonical_order_key",
+    "partition_bundle",
+    "ShardPlan",
+    "BundleShard",
+    "ShardCorpus",
+    "domain_key",
+    "stable_hash",
+    "SerialExecutor",
+    "ProcessPoolShardExecutor",
+    "ShardOutcome",
+    "WorkerConfig",
+    "run_shard",
+    "ShardRecord",
+    "ShardStats",
+]

@@ -1,0 +1,146 @@
+"""Shard execution: the in-process serial path and the process pool.
+
+:func:`run_shard` is the single worker entry point — it iterates the same
+:data:`~repro.core.pipeline.DETECTOR_REGISTRY` the batch pipeline uses,
+gated by the *original* bundle's dataset presence (carried in
+:class:`WorkerConfig`), never by per-shard emptiness: a shard with zero
+CRLs still runs the key-compromise detector so its zeroed join stats sum
+correctly into the global accounting.
+
+Two executors implement the same ``run(plan, config)`` contract:
+
+* :class:`SerialExecutor` — runs shards in-process, in index order. Used
+  for ``workers=1``, in tests, and as the deterministic reference.
+* :class:`ProcessPoolShardExecutor` — fans shards out over a
+  ``concurrent.futures.ProcessPoolExecutor``. On ``fork`` platforms the
+  shard plan is published in a module global *before* the pool is created,
+  so children inherit it through copy-on-write memory and tasks are
+  submitted as bare shard indexes (no input pickling). On ``spawn``
+  platforms it falls back to pickling ``(shard, config)`` payloads.
+
+``pool.map`` preserves submission order, so outcomes always come back in
+shard-index order — the merge in
+:class:`~repro.parallel.pipeline.ParallelMeasurementPipeline` is
+deterministic without re-sorting outcomes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detectors.key_compromise import RevocationJoinStats
+from repro.core.pipeline import DETECTOR_REGISTRY, PipelineConfig
+from repro.core.stale import StaleCertificate, StaleFindings
+from repro.parallel.sharding import BundleShard, ShardPlan
+from repro.util.dates import Day
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a shard worker needs besides the shard itself."""
+
+    revocation_cutoff_day: Optional[Day] = None
+    whois_tlds: Optional[Tuple[str, ...]] = ("com", "net")
+    #: Detector keys to run — decided from the ORIGINAL bundle (dataset
+    #: presence), identically for every shard.
+    enabled: Tuple[str, ...] = ()
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard run sends back to the parent."""
+
+    index: int
+    findings: List[StaleCertificate] = field(default_factory=list)
+    revocation_stats: Optional[RevocationJoinStats] = None
+    seconds: float = 0.0
+    detector_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+def run_shard(shard: BundleShard, config: WorkerConfig) -> ShardOutcome:
+    """Run the enabled detectors over one shard (any process)."""
+    started = perf_counter()
+    findings = StaleFindings()
+    outcome = ShardOutcome(index=shard.index)
+    pipeline_config = PipelineConfig(
+        revocation_cutoff_day=config.revocation_cutoff_day,
+        whois_tlds=config.whois_tlds,
+    )
+    for spec in DETECTOR_REGISTRY:
+        if spec.key not in config.enabled:
+            continue
+        view = shard.bundle_view(spec.key)
+        detector_started = perf_counter()
+        detector = spec.build(view, pipeline_config)
+        detector.detect(spec.inputs(view), findings)
+        outcome.detector_seconds[spec.key] = perf_counter() - detector_started
+        if spec.key == "key_compromise":
+            outcome.revocation_stats = detector.stats
+    outcome.findings = list(findings.all_findings())
+    outcome.seconds = perf_counter() - started
+    return outcome
+
+
+class SerialExecutor:
+    """In-process shard runner (workers=1, tests, reference runs)."""
+
+    name = "serial"
+
+    def run(self, plan: ShardPlan, config: WorkerConfig) -> List[ShardOutcome]:
+        return [run_shard(shard, config) for shard in plan.shards]
+
+
+# Module globals inherited by forked pool workers (zero input pickling).
+_FORK_PLAN: Optional[ShardPlan] = None
+_FORK_CONFIG: Optional[WorkerConfig] = None
+
+
+def _run_shard_by_index(shard_index: int) -> ShardOutcome:
+    """Fork-path task: look the shard up in inherited parent memory."""
+    assert _FORK_PLAN is not None and _FORK_CONFIG is not None
+    return run_shard(_FORK_PLAN.shards[shard_index], _FORK_CONFIG)
+
+
+def _run_shard_payload(payload: Tuple[BundleShard, WorkerConfig]) -> ShardOutcome:
+    """Spawn-path task: the shard travelled by pickle."""
+    shard, config = payload
+    return run_shard(shard, config)
+
+
+class ProcessPoolShardExecutor:
+    """Fans shards out over a process pool, one task per shard."""
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+
+    def run(self, plan: ShardPlan, config: WorkerConfig) -> List[ShardOutcome]:
+        global _FORK_PLAN, _FORK_CONFIG
+        use_fork = multiprocessing.get_start_method(allow_none=True) in (None, "fork")
+        workers = min(self._workers, len(plan.shards))
+        if use_fork:
+            _FORK_PLAN, _FORK_CONFIG = plan, config
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if use_fork:
+                    outcomes = list(
+                        pool.map(_run_shard_by_index, range(len(plan.shards)))
+                    )
+                else:
+                    outcomes = list(
+                        pool.map(
+                            _run_shard_payload,
+                            [(shard, config) for shard in plan.shards],
+                        )
+                    )
+        finally:
+            if use_fork:
+                _FORK_PLAN = _FORK_CONFIG = None
+        return outcomes

@@ -1,0 +1,155 @@
+"""The sharded parallel measurement pipeline.
+
+``ParallelMeasurementPipeline(bundle, workers=N).run()`` produces a
+:class:`~repro.core.pipeline.PipelineResult` whose findings are
+finding-for-finding identical to ``MeasurementPipeline(bundle).run()`` —
+the sharding (:mod:`repro.parallel.sharding`) keeps every join inside a
+shard, and the merge below is deterministic:
+
+* outcomes arrive in shard-index order (both executors preserve it);
+* merged findings are sorted by a canonical key, so the result is
+  byte-stable across shard counts and worker counts (the batch pipeline
+  groups findings by detector instead — *set* equality is the invariant
+  shared by both engines);
+* per-shard :class:`RevocationJoinStats` are summed (the revocation axis
+  partitions CRL entries exactly), and the merged stats is ``None``
+  precisely when the original bundle has no CRLs — matching batch.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import (
+    DETECTOR_REGISTRY,
+    DatasetBundle,
+    PipelineResult,
+    merge_revocation_stats,
+)
+from repro.core.stale import StaleCertificate, StaleFindings
+from repro.parallel.executor import (
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ShardOutcome,
+    WorkerConfig,
+)
+from repro.parallel.sharding import partition_bundle
+from repro.parallel.stats import ShardRecord, ShardStats
+from repro.util.dates import Day
+
+
+def canonical_order_key(finding: StaleCertificate) -> Tuple[str, str, Day, str, str]:
+    """Total order on findings, independent of detection order."""
+    return (
+        finding.staleness_class.value,
+        finding.certificate.dedup_fingerprint(),
+        finding.invalidation_day,
+        finding.affected_domain or "",
+        finding.detail or "",
+    )
+
+
+class ParallelMeasurementPipeline:
+    """Shard the bundle, run detectors per shard, merge deterministically."""
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        workers: int = 1,
+        num_shards: Optional[int] = None,
+        revocation_cutoff_day: Optional[Day] = None,
+        whois_tlds: Optional[Sequence[str]] = ("com", "net"),
+        executor=None,
+    ) -> None:
+        """``num_shards`` defaults to ``workers``; pass an ``executor``
+        (anything with ``run(plan, config) -> List[ShardOutcome]``) to
+        override the serial/process choice — tests use this to exercise
+        multi-shard merging without spawning processes."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._bundle = bundle
+        self._workers = workers
+        self._num_shards = num_shards if num_shards is not None else workers
+        if self._num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self._num_shards}")
+        self._config = WorkerConfig(
+            revocation_cutoff_day=revocation_cutoff_day,
+            whois_tlds=tuple(whois_tlds) if whois_tlds is not None else None,
+            enabled=tuple(
+                spec.key for spec in DETECTOR_REGISTRY if spec.applies(bundle)
+            ),
+        )
+        self._executor = executor
+
+    def run(self) -> PipelineResult:
+        partition_started = perf_counter()
+        plan = partition_bundle(self._bundle, self._num_shards)
+        partition_seconds = perf_counter() - partition_started
+
+        executor = self._executor
+        if executor is None:
+            executor = (
+                SerialExecutor()
+                if self._workers == 1
+                else ProcessPoolShardExecutor(self._workers)
+            )
+        execute_started = perf_counter()
+        outcomes = executor.run(plan, self._config)
+        execute_seconds = perf_counter() - execute_started
+
+        merge_started = perf_counter()
+        merged: List[StaleCertificate] = []
+        for outcome in outcomes:  # shard-index order
+            merged.extend(outcome.findings)
+        merged.sort(key=canonical_order_key)
+        findings = StaleFindings()
+        findings.extend(merged)
+        revocation_stats = None
+        if "key_compromise" in self._config.enabled:
+            revocation_stats = merge_revocation_stats(
+                [o.revocation_stats for o in outcomes if o.revocation_stats is not None]
+            )
+        merge_seconds = perf_counter() - merge_started
+
+        return PipelineResult(
+            findings=findings,
+            revocation_stats=revocation_stats,
+            windows=dict(self._bundle.windows),
+            shard_stats=self._shard_stats(
+                plan, outcomes, executor, partition_seconds, execute_seconds, merge_seconds
+            ),
+        )
+
+    def _shard_stats(
+        self,
+        plan,
+        outcomes: List[ShardOutcome],
+        executor,
+        partition_seconds: float,
+        execute_seconds: float,
+        merge_seconds: float,
+    ) -> ShardStats:
+        stats = ShardStats(
+            num_shards=plan.num_shards,
+            workers=self._workers,
+            executor=getattr(executor, "name", type(executor).__name__),
+            partition_seconds=partition_seconds,
+            execute_seconds=execute_seconds,
+            merge_seconds=merge_seconds,
+        )
+        for shard, outcome in zip(plan.shards, outcomes):
+            stats.shards.append(
+                ShardRecord(
+                    index=shard.index,
+                    revocation_certificates=len(shard.revocation_certificates),
+                    domain_certificates=len(shard.domain_certificates),
+                    crls=len(shard.crls),
+                    whois_pairs=len(shard.whois_creation_pairs),
+                    snapshot_observations=shard.snapshot_observations(),
+                    findings=len(outcome.findings),
+                    seconds=outcome.seconds,
+                    detector_seconds=dict(outcome.detector_seconds),
+                )
+            )
+        return stats

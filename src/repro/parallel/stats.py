@@ -1,0 +1,127 @@
+"""Per-shard size and timing accounting for the parallel engine.
+
+:class:`ShardStats` is attached to the :class:`~repro.core.pipeline.PipelineResult`
+a :class:`~repro.parallel.ParallelMeasurementPipeline` run produces, and is
+surfaced by ``repro detect --format json`` under ``"shard_stats"``. It
+answers the operational questions sharding raises: how even was the
+partition, where did the wall-clock go, and which detector dominated each
+shard.
+
+Note that the domain axis is partitioned by *join-connected components*,
+not individual domains — one component can dwarf the rest (the Cloudflare
+marker SAN links every managed certificate together), so skew here is
+expected, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ShardRecord:
+    """Sizes, timings, and output of one shard."""
+
+    index: int
+    revocation_certificates: int = 0
+    domain_certificates: int = 0
+    crls: int = 0
+    whois_pairs: int = 0
+    snapshot_observations: int = 0
+    findings: int = 0
+    seconds: float = 0.0
+    #: Detector key (as in ``DETECTOR_REGISTRY``) -> seconds spent.
+    detector_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "revocation_certificates": self.revocation_certificates,
+            "domain_certificates": self.domain_certificates,
+            "crls": self.crls,
+            "whois_pairs": self.whois_pairs,
+            "snapshot_observations": self.snapshot_observations,
+            "findings": self.findings,
+            "seconds": self.seconds,
+            "detector_seconds": dict(self.detector_seconds),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "ShardRecord":
+        return cls(
+            index=int(record["index"]),
+            revocation_certificates=int(record["revocation_certificates"]),
+            domain_certificates=int(record["domain_certificates"]),
+            crls=int(record["crls"]),
+            whois_pairs=int(record["whois_pairs"]),
+            snapshot_observations=int(record["snapshot_observations"]),
+            findings=int(record["findings"]),
+            seconds=float(record["seconds"]),
+            detector_seconds={
+                str(key): float(value)
+                for key, value in dict(record.get("detector_seconds", {})).items()
+            },
+        )
+
+
+@dataclass
+class ShardStats:
+    """One parallel run's partition/execution/merge accounting."""
+
+    num_shards: int
+    workers: int
+    executor: str  # "serial" or "process"
+    partition_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    shards: List[ShardRecord] = field(default_factory=list)
+
+    @property
+    def total_findings(self) -> int:
+        return sum(shard.findings for shard in self.shards)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "workers": self.workers,
+            "executor": self.executor,
+            "partition_seconds": self.partition_seconds,
+            "execute_seconds": self.execute_seconds,
+            "merge_seconds": self.merge_seconds,
+            "shards": [shard.to_record() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "ShardStats":
+        return cls(
+            num_shards=int(record["num_shards"]),
+            workers=int(record["workers"]),
+            executor=str(record["executor"]),
+            partition_seconds=float(record["partition_seconds"]),
+            execute_seconds=float(record["execute_seconds"]),
+            merge_seconds=float(record["merge_seconds"]),
+            shards=[ShardRecord.from_record(r) for r in record.get("shards", [])],
+        )
+
+    def summary_rows(self) -> List[Tuple[str, object]]:
+        """(label, value) rows for the CLI text renderer."""
+        rows: List[Tuple[str, object]] = [
+            ("shards", self.num_shards),
+            ("workers", self.workers),
+            ("executor", self.executor),
+            ("partition seconds", round(self.partition_seconds, 4)),
+            ("execute seconds", round(self.execute_seconds, 4)),
+            ("merge seconds", round(self.merge_seconds, 4)),
+        ]
+        for shard in self.shards:
+            rows.append(
+                (
+                    f"shard {shard.index}",
+                    f"{shard.revocation_certificates} rev-certs, "
+                    f"{shard.domain_certificates} dom-certs, "
+                    f"{shard.findings} findings, "
+                    f"{shard.seconds:.4f}s",
+                )
+            )
+        return rows

@@ -16,22 +16,34 @@ from :meth:`findings`, not by accumulating the emission feed.
 All wrappers serialize their non-derivable state for checkpointing.
 Certificates are referenced by dedup fingerprint; the engine re-ingests the
 CT prefix on resume to rebuild the (derivable) indexes.
+
+Each wrapper also presents the uniform registry shape the engine iterates
+(see :class:`~repro.core.detectors.base.Detector`): a ``name`` matching its
+batch counterpart's registry key, the ``event_type`` it consumes,
+``consume(event)`` dispatch, ``finalize()``, a ``stats`` property, a
+batch-shaped ``detect(events, findings)`` entry point, and
+``restore_state(state, resolve_certificate=None)`` plus an
+``after_resume()`` hook with one signature across all three.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.detectors.key_compromise import RevocationJoinStats
 from repro.core.detectors.managed_tls import (
     DISAPPEARANCE_LOOKAHEAD_SCANS,
+    DepartureJoinStats,
     _domains_under,
     is_cloudflare_delegation,
     is_cloudflare_managed_certificate,
     CLOUDFLARE_MANAGED_SAN_SUFFIX,
 )
-from repro.core.detectors.registrant_change import _covers_registration
+from repro.core.detectors.registrant_change import (
+    RegistrantJoinStats,
+    _covers_registration,
+)
 from repro.core.stale import StaleCertificate, StalenessClass, StaleFindings
 from repro.dns.records import RecordType
 from repro.pki.certificate import Certificate
@@ -41,6 +53,7 @@ from repro.revocation.reasons import RevocationReason
 from repro.stream.events import (
     CrlDeltaPublished,
     DnsSnapshotTaken,
+    EventType,
     WhoisCreationObserved,
 )
 from repro.util.dates import Day
@@ -57,6 +70,9 @@ class IncrementalKeyCompromiseDetector:
     findings per key. Entries whose certificate has not appeared in CT yet
     stay pending and join retroactively when it does.
     """
+
+    name = "key_compromise"
+    event_type = EventType.CRL_DELTA_PUBLISHED
 
     def __init__(self, revocation_cutoff_day: Optional[Day] = None) -> None:
         self._cutoff = revocation_cutoff_day
@@ -86,6 +102,29 @@ class IncrementalKeyCompromiseDetector:
             if key in self._certs_by_key:
                 emitted.extend(self._evaluate(key))
         return emitted
+
+    def consume(self, event: CrlDeltaPublished) -> List[StaleCertificate]:
+        """Uniform source-event entry point (registry dispatch)."""
+        return self.handle_crl_delta(event)
+
+    def finalize(self) -> List[StaleCertificate]:
+        """Nothing buffered: revocations join (or pend) on arrival."""
+        return []
+
+    def detect(
+        self,
+        events: Iterable[CrlDeltaPublished],
+        findings: Optional[StaleFindings] = None,
+    ) -> StaleFindings:
+        """Batch-shaped entry (Detector protocol): consume *events*, then
+        report the converged findings. Certificates must have been
+        registered beforehand via :meth:`register_certificate`."""
+        out = findings if findings is not None else StaleFindings()
+        for event in events:
+            self.consume(event)
+        self.finalize()
+        out.extend(self.findings())
+        return out
 
     def _evaluate(self, key: RevocationKey) -> List[StaleCertificate]:
         certificate = self._certs_by_key[key]
@@ -169,9 +208,10 @@ class IncrementalKeyCompromiseDetector:
             ]
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict, resolve_certificate=None) -> None:
         """Restore the merged revocation view; the engine re-ingests the CT
-        prefix afterwards, which rebuilds the cert index and findings."""
+        prefix afterwards, which rebuilds the cert index and findings.
+        ``resolve_certificate`` is unused (uniform registry signature)."""
         self._certs_by_key.clear()
         self._findings.clear()
         self._best = {
@@ -182,6 +222,9 @@ class IncrementalKeyCompromiseDetector:
             )
             for akid, serial, revocation_day, reason_name in state.get("entries", [])
         }
+
+    def after_resume(self) -> None:
+        """Post-CT-reingest hook; nothing extra to rebuild here."""
 
 
 class IncrementalRegistrantChangeDetector:
@@ -195,6 +238,9 @@ class IncrementalRegistrantChangeDetector:
     rebuild so the converged pair structure stays identical to the batch
     :func:`~repro.core.detectors.registrant_change.find_re_registrations`.
     """
+
+    name = "registrant_change"
+    event_type = EventType.WHOIS_CREATION_OBSERVED
 
     def __init__(self, tlds: Optional[Sequence[str]] = ("com", "net")) -> None:
         self._tlds = tuple(tlds) if tlds is not None else None
@@ -219,6 +265,29 @@ class IncrementalRegistrantChangeDetector:
             return []  # duplicate crawl observation
         dates.insert(position, creation_day)
         return self._rebuild_domain(domain)
+
+    def consume(self, event: WhoisCreationObserved) -> List[StaleCertificate]:
+        """Uniform source-event entry point (registry dispatch)."""
+        return self.handle_whois(event)
+
+    def finalize(self) -> List[StaleCertificate]:
+        """Nothing buffered: creation dates join on arrival."""
+        return []
+
+    def detect(
+        self,
+        events: Iterable[WhoisCreationObserved],
+        findings: Optional[StaleFindings] = None,
+    ) -> StaleFindings:
+        """Batch-shaped entry (Detector protocol): consume *events*, then
+        report the converged findings. Certificates must have been
+        registered beforehand via :meth:`register_certificate`."""
+        out = findings if findings is not None else StaleFindings()
+        for event in events:
+            self.consume(event)
+        self.finalize()
+        out.extend(self.findings())
+        return out
 
     def _rebuild_domain(self, domain: str) -> List[StaleCertificate]:
         """(Re)derive findings for one domain from its date list.
@@ -265,6 +334,23 @@ class IncrementalRegistrantChangeDetector:
             max(0, len(dates) - 1) for dates in self._dates_by_domain.values()
         )
 
+    @property
+    def stats(self) -> RegistrantJoinStats:
+        """Join accounting identical to the batch detector's (derived from
+        the converged per-domain date lists, so it matches at any point the
+        batch detector could have been run)."""
+        stats = RegistrantJoinStats(findings=len(self._findings))
+        for domain, dates in self._dates_by_domain.items():
+            pairs = max(0, len(dates) - 1)
+            if not pairs:
+                continue
+            stats.re_registration_events += pairs
+            registrable = e2ld(domain)
+            lookup = registrable if registrable is not None else domain
+            if self._certs_by_e2ld.get(lookup):
+                stats.events_joining_certificates += pairs
+        return stats
+
     # -- checkpointing ------------------------------------------------------
 
     def checkpoint_state(self) -> dict:
@@ -274,7 +360,8 @@ class IncrementalRegistrantChangeDetector:
             }
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict, resolve_certificate=None) -> None:
+        """``resolve_certificate`` is unused (uniform registry signature)."""
         self._certs_by_e2ld.clear()
         self._findings.clear()
         self._dates_by_domain = {
@@ -287,6 +374,10 @@ class IncrementalRegistrantChangeDetector:
         self._findings.clear()
         for domain in self._dates_by_domain:
             self._rebuild_domain(domain)
+
+    def after_resume(self) -> None:
+        """Post-CT-reingest hook: rederive findings from restored dates."""
+        self.rebuild_findings()
 
 
 class IncrementalManagedTlsDetector:
@@ -301,11 +392,15 @@ class IncrementalManagedTlsDetector:
     matching the batch behaviour at the end of the scan window.
     """
 
+    name = "managed_tls"
+    event_type = EventType.DNS_SNAPSHOT_TAKEN
+
     def __init__(self) -> None:
         self._managed_by_domain: Dict[str, List[Certificate]] = {}
         self._last_view: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
         self._have_snapshot = False
         self._pending: List[dict] = []
+        self._departures_detected = 0
         self._findings: Dict[Tuple[str, str, Day], StaleCertificate] = {}
 
     # -- event handling -----------------------------------------------------
@@ -364,6 +459,25 @@ class IncrementalManagedTlsDetector:
         self._have_snapshot = True
         return emitted
 
+    def consume(self, event: DnsSnapshotTaken) -> List[StaleCertificate]:
+        """Uniform source-event entry point (registry dispatch)."""
+        return self.handle_snapshot(event)
+
+    def detect(
+        self,
+        events: Iterable[DnsSnapshotTaken],
+        findings: Optional[StaleFindings] = None,
+    ) -> StaleFindings:
+        """Batch-shaped entry (Detector protocol): consume *events*, flush
+        pendings, then report the converged findings. Certificates must
+        have been registered beforehand via :meth:`register_certificate`."""
+        out = findings if findings is not None else StaleFindings()
+        for event in events:
+            self.consume(event)
+        self.finalize()
+        out.extend(self.findings())
+        return out
+
     def _resolve_pendings(
         self, current: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]]
     ) -> List[StaleCertificate]:
@@ -396,6 +510,7 @@ class IncrementalManagedTlsDetector:
     def _emit_departure(
         self, apex: str, departure_day: Day, removed: Sequence[str]
     ) -> List[StaleCertificate]:
+        self._departures_detected += 1
         detail = f"left={','.join(removed)}"
         emitted: List[StaleCertificate] = []
         for domain, certificates in _domains_under(self._managed_by_domain, apex):
@@ -436,6 +551,23 @@ class IncrementalManagedTlsDetector:
     def pending_departures(self) -> int:
         return len(self._pending)
 
+    @property
+    def stats(self) -> DepartureJoinStats:
+        """Join accounting in the batch detector's shape. The departure
+        count is the number this stream has *emitted* so far (the batch
+        detector counts a completed window's departures in one shot)."""
+        return DepartureJoinStats(
+            managed_certificates_indexed=len(
+                {
+                    certificate.dedup_fingerprint()
+                    for certificates in self._managed_by_domain.values()
+                    for certificate in certificates
+                }
+            ),
+            departures_detected=self._departures_detected,
+            findings=len(self._findings),
+        )
+
     # -- checkpointing ------------------------------------------------------
 
     def checkpoint_state(self) -> dict:
@@ -452,9 +584,13 @@ class IncrementalManagedTlsDetector:
             ],
         }
 
-    def restore_state(self, state: dict, resolve_certificate) -> None:
+    def restore_state(self, state: dict, resolve_certificate=None) -> None:
         """``resolve_certificate(fingerprint) -> Certificate`` maps the
-        checkpoint's certificate references back onto the bundle corpus."""
+        checkpoint's certificate references back onto the bundle corpus;
+        required here (unlike the other detectors) because findings are
+        part of the non-derivable state."""
+        if resolve_certificate is None:
+            raise ValueError("managed-TLS restore requires resolve_certificate")
         self._managed_by_domain.clear()
         self._have_snapshot = state.get("have_snapshot", False)
         self._last_view = {
@@ -462,6 +598,7 @@ class IncrementalManagedTlsDetector:
             for apex, view in state.get("last_view", {}).items()
         }
         self._pending = [dict(pending) for pending in state.get("pending", [])]
+        self._departures_detected = 0  # counter restarts; stats are since-resume
         self._findings = {}
         for fingerprint, domain, departure_day, detail in state.get("findings", []):
             certificate = resolve_certificate(fingerprint)
@@ -472,3 +609,6 @@ class IncrementalManagedTlsDetector:
                 affected_domain=domain,
                 detail=detail,
             )
+
+    def after_resume(self) -> None:
+        """Post-CT-reingest hook; findings were restored, nothing to do."""

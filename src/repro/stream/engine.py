@@ -196,6 +196,10 @@ class StreamEngine:
         self._kc = IncrementalKeyCompromiseDetector(revocation_cutoff_day)
         self._rc = IncrementalRegistrantChangeDetector(whois_tlds)
         self._mt = IncrementalManagedTlsDetector()
+        #: Registry the engine iterates everywhere (dispatch, finalize,
+        #: checkpoint, restore, materialize). Order fixes the emission and
+        #: materialization order, matching the batch registry's.
+        self._detectors = (self._kc, self._rc, self._mt)
 
         self._cursor: Optional[Day] = None
         self._current_day: Optional[Day] = None
@@ -203,26 +207,21 @@ class StreamEngine:
         self._finalized = False
 
         self.bus.subscribe(EventType.CT_ENTRY_LOGGED, self._on_ct_entry)
-        self.bus.subscribe(EventType.CRL_DELTA_PUBLISHED, self._on_crl_delta)
-        self.bus.subscribe(EventType.WHOIS_CREATION_OBSERVED, self._on_whois)
-        self.bus.subscribe(EventType.DNS_SNAPSHOT_TAKEN, self._on_snapshot)
+        for detector in self._detectors:
+            self.bus.subscribe(detector.event_type, self._make_handler(detector))
         self.bus.subscribe(EventType.STALE_FINDING, self._on_stale_finding)
 
     # -- handlers ------------------------------------------------------------
 
     def _on_ct_entry(self, event: CtEntryLogged) -> None:
-        self._emit(self._kc.register_certificate(event.certificate))
-        self._emit(self._rc.register_certificate(event.certificate))
-        self._emit(self._mt.register_certificate(event.certificate))
+        for detector in self._detectors:
+            self._emit(detector.register_certificate(event.certificate))
 
-    def _on_crl_delta(self, event: CrlDeltaPublished) -> None:
-        self._emit(self._kc.handle_crl_delta(event))
+    def _make_handler(self, detector):
+        def handle(event: Event) -> None:
+            self._emit(detector.consume(event))
 
-    def _on_whois(self, event: WhoisCreationObserved) -> None:
-        self._emit(self._rc.handle_whois(event))
-
-    def _on_snapshot(self, event: DnsSnapshotTaken) -> None:
-        self._emit(self._mt.handle_snapshot(event))
+        return handle
 
     def _on_stale_finding(self, event: StaleFindingEmitted) -> None:
         self.stats.record_finding(event.finding.staleness_class.value)
@@ -284,7 +283,8 @@ class StreamEngine:
                 since_checkpoint = 0
 
         if exhausted and not self._finalized:
-            self._emit(self._mt.finalize())
+            for detector in self._detectors:
+                self._emit(detector.finalize())
             self.bus.drain()
             self._finalized = True
         if self._store is not None:
@@ -301,9 +301,8 @@ class StreamEngine:
 
     def _materialize(self) -> StaleFindings:
         findings = StaleFindings()
-        findings.extend(self._kc.findings())
-        findings.extend(self._rc.findings())
-        findings.extend(self._mt.findings())
+        for detector in self._detectors:
+            findings.extend(detector.findings())
         return findings
 
     # -- checkpointing -------------------------------------------------------
@@ -315,9 +314,8 @@ class StreamEngine:
             "finalized": self._finalized,
             "stats": self.stats.to_record(),
             "detectors": {
-                "key_compromise": self._kc.checkpoint_state(),
-                "registrant_change": self._rc.checkpoint_state(),
-                "managed_tls": self._mt.checkpoint_state(),
+                detector.name: detector.checkpoint_state()
+                for detector in self._detectors
             },
         }
         self._store.save(state)
@@ -343,16 +341,16 @@ class StreamEngine:
             certificate.dedup_fingerprint(): certificate
             for certificate in self._bundle.corpus.certificates()
         }
-        self._kc.restore_state(detectors.get("key_compromise", {}))
-        self._rc.restore_state(detectors.get("registrant_change", {}))
-        self._mt.restore_state(
-            detectors.get("managed_tls", {}), by_fingerprint.__getitem__
-        )
+        for detector in self._detectors:
+            detector.restore_state(
+                detectors.get(detector.name, {}), by_fingerprint.__getitem__
+            )
 
         # Re-ingest the CT prefix (certificates already logged by the
         # cursor) to rebuild the derivable seen-certificate indexes; the
-        # key-compromise and registrant-change findings rebuild from the
-        # restored join state as a side effect.
+        # key-compromise findings rebuild from the restored join state as a
+        # side effect, and each detector's after_resume hook rederives
+        # whatever else its state implies (registrant-change findings).
         if self._cursor is not None:
             for certificate in sorted(
                 self._bundle.corpus.certificates(),
@@ -360,10 +358,10 @@ class StreamEngine:
             ):
                 if certificate.not_before > self._cursor:
                     break
-                self._kc.register_certificate(certificate)
-                self._rc.register_certificate(certificate)
-                self._mt.register_certificate(certificate)
-            self._rc.rebuild_findings()
+                for detector in self._detectors:
+                    detector.register_certificate(certificate)
+            for detector in self._detectors:
+                detector.after_resume()
         return True
 
 

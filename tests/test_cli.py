@@ -112,6 +112,43 @@ class TestCommands:
         assert "Table 4" in payload["title"]
         assert payload["columns"]
         assert payload["rows"]
+        assert payload["shard_stats"] is None  # single worker: batch engine
+
+    def test_detect_workers_match_single_worker(self, capsys):
+        assert main(ARGS + ["detect", "--format", "json"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(ARGS + ["detect", "--workers", "2", "--format", "json"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        stats = sharded.pop("shard_stats")
+        single.pop("shard_stats")
+        assert sharded == single
+        assert stats["num_shards"] == 2
+        assert stats["workers"] == 2
+
+    def test_detect_workers_text_prints_shard_table(self, capsys):
+        assert main(ARGS + ["detect", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Parallel shard stats" in out
+        assert "shard 0" in out and "shard 1" in out
+
+    def test_detect_bundle_saves_then_loads(self, tmp_path, capsys):
+        bundle_dir = str(tmp_path / "bundle")
+        assert main(ARGS + ["detect", "--bundle", bundle_dir]) == 0
+        first = capsys.readouterr()
+        assert "saved bundle" in first.err
+        assert main(ARGS + ["detect", "--bundle", bundle_dir]) == 0
+        second = capsys.readouterr()
+        assert "loading bundle" in second.err
+        assert "simulating world" not in second.err
+        assert second.out == first.out
+
+    def test_lifetime_accepts_workers(self, capsys):
+        assert main(ARGS + ["lifetime", "--caps", "90", "--workers", "2"]) == 0
+        assert "OVERALL" in capsys.readouterr().out
+
+    def test_report_accepts_workers(self, capsys):
+        assert main(ARGS + ["report", "--experiment", "fig6", "--workers", "2"]) == 0
+        assert capsys.readouterr().out.strip()
 
     def test_report_format_json(self, capsys):
         assert main(ARGS + ["report", "--experiment", "fig6", "--format", "json"]) == 0
