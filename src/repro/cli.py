@@ -9,9 +9,18 @@ Drives the full reproduction from a shell::
     python -m repro report    --scale 0.1 --experiment fig6
     python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
     python -m repro watch     --scale 0.1 --checkpoint-dir /tmp/ckpt --resume
+    python -m repro detect    --scale 0.1 --metrics-out metrics.prom --log-json
 
 Every command simulates (or reuses, within one invocation) a seeded world,
 so results are reproducible given ``--seed``/``--scale``.
+
+The pipeline-running subcommands (detect / lifetime / report / watch) share
+two observability flags: ``--metrics-out FILE`` writes a Prometheus-style
+text exposition of the run's :mod:`repro.obs` registry (per-operator CRL
+fetch outcomes, per-detector duration histograms, finding counters by
+staleness class, stream/shard counters), and ``--log-json`` emits
+structured JSON log records to stderr. Each invocation records into a
+fresh registry, so the textfile describes exactly one run.
 """
 
 from __future__ import annotations
@@ -68,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="run detection sharded across N worker processes (default 1)",
     )
+    # Observability options shared by the pipeline-running subcommands.
+    obsopts = argparse.ArgumentParser(add_help=False)
+    obsopts.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write a Prometheus-style metrics textfile for this run",
+    )
+    obsopts.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log records to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser(
@@ -75,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     detect = sub.add_parser(
-        "detect", parents=[common, data],
+        "detect", parents=[common, data, obsopts],
         help="run the three detectors; print Table 4",
     )
     detect.add_argument(
@@ -93,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("--dir", required=True, help="output directory")
 
     lifetime = sub.add_parser(
-        "lifetime", parents=[common, data],
+        "lifetime", parents=[common, data, obsopts],
         help="lifetime-cap policy analysis (Section 6)",
     )
     lifetime.add_argument(
@@ -101,7 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", parents=[common, data], help="print one reproduced table/figure"
+        "report", parents=[common, data, obsopts],
+        help="print one reproduced table/figure",
     )
     report.add_argument("--experiment", choices=_EXPERIMENTS, default="table4")
     report.add_argument(
@@ -119,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     watch = sub.add_parser(
         "watch",
-        parents=[common],
+        parents=[common, obsopts],
         help="replay the world as a day-by-day event stream, emitting "
         "advisories live (streaming equivalent of 'detect')",
     )
@@ -426,7 +446,7 @@ def cmd_advise(args) -> int:
 def cmd_watch(args) -> int:
     """Streaming replay: the always-on-monitor equivalent of ``detect``."""
     from repro.stream import (
-        CheckpointMismatchError,
+        CheckpointError,
         CheckpointStore,
         StreamEngine,
         verify_equivalence,
@@ -472,7 +492,9 @@ def cmd_watch(args) -> int:
     )
     try:
         result = engine.replay(max_days=args.days, resume=args.resume)
-    except CheckpointMismatchError as error:
+    except CheckpointError as error:
+        # Covers both a bundle-fingerprint mismatch and a truncated or
+        # corrupt checkpoint file; the message names the path and the fix.
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -544,7 +566,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": cmd_advise,
         "watch": cmd_watch,
     }
-    return handlers[args.command](args)
+    import logging
+
+    from repro.obs import configure_json_logging, remove_json_logging, use_registry
+
+    log_handler = None
+    if getattr(args, "log_json", False):
+        log_handler = configure_json_logging(stream=sys.stderr, level=logging.DEBUG)
+    metrics_out = getattr(args, "metrics_out", None)
+    try:
+        # Each invocation records into a fresh registry so --metrics-out
+        # describes exactly this run (and parallel invocations in one
+        # process — e.g. tests — stay isolated).
+        with use_registry() as registry:
+            code = handlers[args.command](args)
+            if metrics_out:
+                registry.write_textfile(metrics_out)
+                print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        return code
+    finally:
+        if log_handler is not None:
+            remove_json_logging(log_handler)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CH
 
 from repro.core.detectors.base import Detector
 from repro.core.detectors.key_compromise import KeyCompromiseDetector, RevocationJoinStats
+from repro.obs import get_registry, names, span
 from repro.core.detectors.managed_tls import ManagedTlsDetector
 from repro.core.detectors.registrant_change import RegistrantChangeDetector
 from repro.core.stale import ClassAggregate, StaleCertificate, StalenessClass, StaleFindings
@@ -258,16 +259,53 @@ class MeasurementPipeline:
         findings = StaleFindings()
         revocation_stats: Optional[RevocationJoinStats] = None
 
-        for spec in DETECTOR_REGISTRY:
-            if not spec.applies(self._bundle):
-                continue
-            detector = spec.build(self._bundle, self._config)
-            detector.detect(spec.inputs(self._bundle), findings)
-            if spec.key == "key_compromise":
-                revocation_stats = detector.stats
+        with span("pipeline_run"):
+            for spec in DETECTOR_REGISTRY:
+                if not spec.applies(self._bundle):
+                    continue
+                detector, _ = run_detector(spec, self._bundle, self._config, findings)
+                if spec.key == "key_compromise":
+                    revocation_stats = detector.stats
 
         return PipelineResult(
             findings=findings,
             revocation_stats=revocation_stats,
             windows=dict(self._bundle.windows),
         )
+
+
+def run_detector(
+    spec: DetectorSpec,
+    bundle: DatasetBundle,
+    config: "PipelineConfig",
+    findings: StaleFindings,
+) -> Tuple[Detector, float]:
+    """Build and run one registry detector with shared obs instrumentation.
+
+    Returns ``(detector, elapsed_seconds)``. Records the wall time (build
+    + detect) into the ``repro_detector_seconds`` histogram and the
+    findings added into ``repro_findings_total`` by staleness class —
+    identically for the batch pipeline and the parallel shard workers
+    (:func:`repro.parallel.executor.run_shard`), so serial and sharded
+    runs report into the same series.
+    """
+    from time import perf_counter
+
+    registry = get_registry()
+    before = {cls: len(findings.of_class(cls)) for cls in StalenessClass}
+    with span("detector", detector=spec.key):
+        started = perf_counter()
+        detector = spec.build(bundle, config)
+        detector.detect(spec.inputs(bundle), findings)
+        elapsed = perf_counter() - started
+    registry.histogram(
+        names.DETECTOR_SECONDS, names.DETECTOR_SECONDS_HELP, labels=("detector",)
+    ).observe(elapsed, detector=spec.key)
+    findings_counter = registry.counter(
+        names.FINDINGS_TOTAL, names.FINDINGS_TOTAL_HELP, labels=("staleness_class",)
+    )
+    for cls in StalenessClass:
+        added = len(findings.of_class(cls)) - before[cls]
+        if added:
+            findings_counter.inc(added, staleness_class=cls.value)
+    return detector, elapsed

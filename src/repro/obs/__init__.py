@@ -1,0 +1,65 @@
+"""Unified observability: metrics, span tracing, structured JSON logging.
+
+The operational counterpart to :mod:`repro.stream` (incremental detection)
+and :mod:`repro.parallel` (sharded detection): one process-wide
+:class:`MetricsRegistry` that every engine layer records into —
+
+* :class:`~repro.revocation.fetcher.CrlFetcher` counts per-operator fetch
+  attempts, retries, and outcomes, and traces a span per fetch day;
+* :class:`~repro.core.pipeline.MeasurementPipeline` and the shard workers
+  record per-detector duration histograms and finding counters by
+  staleness class;
+* the stream engine bridges :class:`~repro.stream.metrics.StreamStats`
+  onto the registry so watch-mode and batch counters share one namespace;
+* the parallel engine snapshots each shard's registry into its
+  :class:`~repro.parallel.executor.ShardOutcome` and merges them
+  deterministically in the parent.
+
+``repro detect/lifetime/report/watch --metrics-out FILE`` writes the
+registry as a Prometheus-style textfile; ``--log-json`` turns on the
+structured log feed (span timings, fetch progress) on stderr.
+"""
+
+from repro.obs import names
+from repro.obs.log import (
+    JsonLogHandler,
+    configure_json_logging,
+    get_logger,
+    log,
+    remove_json_logging,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    get_registry,
+    parse_text,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.trace import Span, current_span, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "JsonLogHandler",
+    "MetricsRegistry",
+    "Span",
+    "configure_json_logging",
+    "current_span",
+    "get_logger",
+    "get_registry",
+    "log",
+    "names",
+    "parse_text",
+    "remove_json_logging",
+    "set_default_registry",
+    "span",
+    "use_registry",
+]

@@ -1,0 +1,90 @@
+"""Structured JSON log records with a stdlib-``logging`` bridge.
+
+:func:`log` emits one structured record — an event name plus arbitrary
+key/value fields — through the ordinary ``logging`` machinery under the
+``repro`` logger namespace, so existing handlers, levels, and filters all
+apply. :func:`configure_json_logging` installs a :class:`JsonLogHandler`
+that renders *every* record reaching the ``repro`` logger (structured or
+plain stdlib) as one JSON object per line — the bridge works in both
+directions: ``obs.log(...)`` flows into stdlib logging, and plain
+``logging.getLogger("repro.x").warning(...)`` calls come out as JSON.
+
+Nothing is printed until a handler is configured (the root ``repro``
+logger gets a ``NullHandler``), so library use stays silent by default;
+the CLI's ``--log-json`` flag turns the feed on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional, TextIO
+
+LOGGER_NAME = "repro"
+
+#: LogRecord attribute carrying the structured fields of an obs record.
+_FIELDS_ATTR = "obs_fields"
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(subsystem: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a ``repro.<subsystem>`` child."""
+    if subsystem:
+        return logging.getLogger(f"{LOGGER_NAME}.{subsystem}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def log(
+    event: str,
+    *,
+    level: int = logging.INFO,
+    subsystem: Optional[str] = None,
+    **fields: Any,
+) -> None:
+    """Emit one structured record: an event name plus key/value fields."""
+    get_logger(subsystem).log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+class JsonLogHandler(logging.StreamHandler):
+    """Renders every record as one JSON object per line.
+
+    Structured fields from :func:`log` are inlined at the top level;
+    plain stdlib records simply have no extra fields. Non-serializable
+    values degrade to ``str`` rather than raising inside logging.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, _FIELDS_ATTR, None) or {})
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = logging.Formatter().formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_json_logging(
+    stream: Optional[TextIO] = None,
+    level: int = logging.INFO,
+) -> JsonLogHandler:
+    """Install a :class:`JsonLogHandler` on the ``repro`` logger.
+
+    Returns the handler so callers (the CLI, tests) can remove it again
+    with :func:`remove_json_logging`.
+    """
+    handler = JsonLogHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(level)
+    logger = get_logger()
+    logger.addHandler(handler)
+    logger.setLevel(min(level, logger.level or level) if logger.level else level)
+    return handler
+
+
+def remove_json_logging(handler: JsonLogHandler) -> None:
+    """Detach a handler installed by :func:`configure_json_logging`."""
+    get_logger().removeHandler(handler)

@@ -1,0 +1,60 @@
+"""Canonical metric names (and help strings) for the shared registry.
+
+Every instrumented subsystem — the CRL fetcher, the batch pipeline, the
+shard workers, and the stream engine — registers its metrics under these
+names so that batch, parallel, and watch runs share one namespace: a
+findings counter incremented by a shard worker and one incremented by the
+stream engine land in the *same* time series. Keeping the names here (and
+only here) prevents the drift that silently splits a series in two.
+"""
+
+from __future__ import annotations
+
+# -- CRL collection (repro.revocation.fetcher) -------------------------------
+
+CRL_FETCH_ATTEMPTS = "repro_crl_fetch_attempts_total"
+CRL_FETCH_ATTEMPTS_HELP = "CRL fetch attempts per CA operator, including retries."
+
+CRL_FETCH_RETRIES = "repro_crl_fetch_retries_total"
+CRL_FETCH_RETRIES_HELP = "Transient-failure retries per CA operator."
+
+CRL_FETCH_OUTCOMES = "repro_crl_fetch_outcomes_total"
+CRL_FETCH_OUTCOMES_HELP = "Final per-day CRL fetch outcomes per CA operator."
+
+# -- detection (repro.core.pipeline / repro.parallel) ------------------------
+
+DETECTOR_SECONDS = "repro_detector_seconds"
+DETECTOR_SECONDS_HELP = "Wall time of one detector pass over its dataset."
+
+FINDINGS_TOTAL = "repro_findings_total"
+FINDINGS_TOTAL_HELP = "Stale-certificate findings by staleness class."
+
+# -- streaming engine (repro.stream) -----------------------------------------
+
+STREAM_EVENTS = "repro_stream_events_total"
+STREAM_EVENTS_HELP = "Events dispatched by the stream bus, by event type."
+
+STREAM_HANDLER_SECONDS = "repro_stream_handler_seconds"
+STREAM_HANDLER_SECONDS_HELP = "Per-event handler dispatch wall time, by event type."
+
+STREAM_DAYS = "repro_stream_days_processed_total"
+STREAM_DAYS_HELP = "Event-days fully processed by the stream engine."
+
+STREAM_CHECKPOINTS = "repro_stream_checkpoints_written_total"
+STREAM_CHECKPOINTS_HELP = "Checkpoints written by the stream engine."
+
+STREAM_MAX_QUEUE_DEPTH = "repro_stream_max_queue_depth"
+STREAM_MAX_QUEUE_DEPTH_HELP = "High-water mark of the event bus queue."
+
+# -- interval joins (repro.util.intervals) -----------------------------------
+
+SWEEP_SCANS = "repro_interval_sweep_scans_total"
+SWEEP_SCANS_HELP = "Active intervals scanned by interval_sweep_join."
+
+SWEEP_PAIRS = "repro_interval_sweep_pairs_total"
+SWEEP_PAIRS_HELP = "(event, interval) pairs emitted by interval_sweep_join."
+
+# -- tracing (repro.obs.trace) -----------------------------------------------
+
+SPAN_SECONDS = "repro_span_seconds"
+SPAN_SECONDS_HELP = "Wall time of traced spans, by span name."

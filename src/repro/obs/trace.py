@@ -1,0 +1,88 @@
+"""Lightweight span tracing: wall time + nesting, no external deps.
+
+``with span("crl_fetch_day", day=d):`` times a block, records the elapsed
+wall time into the shared registry's ``repro_span_seconds`` histogram
+(labelled by span name only — attributes stay out of metric labels so
+high-cardinality values like days never explode a time series), and emits
+a DEBUG-level structured log record carrying the attributes, duration,
+nesting depth, and parent span name.
+
+Spans nest per thread; :func:`current_span` exposes the innermost open
+span so deeply nested code can attach context without threading a handle
+through every call.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import names
+from repro.obs.log import log
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+_STACK = threading.local()
+
+
+@dataclass
+class Span:
+    """One traced block; ``seconds`` is filled when the block exits."""
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    depth: int = 0
+    parent: Optional[str] = None
+    seconds: Optional[float] = None
+
+
+def _spans() -> List[Span]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = []
+        _STACK.spans = stack
+    return stack
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _spans()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    **attrs: Any,
+) -> Iterator[Span]:
+    """Time a block; record a histogram sample and a DEBUG log record."""
+    stack = _spans()
+    current = Span(
+        name=name,
+        attrs=dict(attrs),
+        depth=len(stack),
+        parent=stack[-1].name if stack else None,
+    )
+    stack.append(current)
+    started = perf_counter()
+    try:
+        yield current
+    finally:
+        current.seconds = perf_counter() - started
+        stack.pop()
+        (registry or get_registry()).histogram(
+            names.SPAN_SECONDS, names.SPAN_SECONDS_HELP, labels=("name",)
+        ).observe(current.seconds, name=name)
+        log(
+            "span",
+            level=logging.DEBUG,
+            name=name,
+            seconds=round(current.seconds, 6),
+            depth=current.depth,
+            parent=current.parent,
+            **current.attrs,
+        )

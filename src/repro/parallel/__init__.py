@@ -8,7 +8,10 @@ per-shard findings and join stats back into a single
 :class:`~repro.core.pipeline.PipelineResult`
 (:mod:`~repro.parallel.pipeline`), proven identical to the unsharded
 batch run. Per-shard sizes and timings are reported as
-:class:`~repro.parallel.stats.ShardStats` on the result.
+:class:`~repro.parallel.stats.ShardStats` on the result, and each shard's
+:mod:`repro.obs` registry snapshot is merged (order-independently, via
+:func:`merge_shard_metrics`) into the process-wide registry so sharded
+runs expose the same metric series as serial runs.
 """
 
 from repro.parallel.executor import (
@@ -18,7 +21,11 @@ from repro.parallel.executor import (
     WorkerConfig,
     run_shard,
 )
-from repro.parallel.pipeline import ParallelMeasurementPipeline, canonical_order_key
+from repro.parallel.pipeline import (
+    ParallelMeasurementPipeline,
+    canonical_order_key,
+    merge_shard_metrics,
+)
 from repro.parallel.sharding import (
     BundleShard,
     ShardCorpus,
@@ -32,6 +39,7 @@ from repro.parallel.stats import ShardRecord, ShardStats
 __all__ = [
     "ParallelMeasurementPipeline",
     "canonical_order_key",
+    "merge_shard_metrics",
     "partition_bundle",
     "ShardPlan",
     "BundleShard",

@@ -33,8 +33,9 @@ from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.detectors.key_compromise import RevocationJoinStats
-from repro.core.pipeline import DETECTOR_REGISTRY, PipelineConfig
+from repro.core.pipeline import DETECTOR_REGISTRY, PipelineConfig, run_detector
 from repro.core.stale import StaleCertificate, StaleFindings
+from repro.obs import MetricsRegistry, use_registry
 from repro.parallel.sharding import BundleShard, ShardPlan
 from repro.util.dates import Day
 
@@ -59,10 +60,20 @@ class ShardOutcome:
     revocation_stats: Optional[RevocationJoinStats] = None
     seconds: float = 0.0
     detector_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Snapshot (:meth:`~repro.obs.MetricsRegistry.to_record`) of the
+    #: shard-local obs registry — per-detector duration histograms,
+    #: finding counters, and anything instrumented code recorded while
+    #: running inside the shard. Merged deterministically in the parent.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 def run_shard(shard: BundleShard, config: WorkerConfig) -> ShardOutcome:
-    """Run the enabled detectors over one shard (any process)."""
+    """Run the enabled detectors over one shard (any process).
+
+    The shard records into its own :class:`~repro.obs.MetricsRegistry`
+    (scoped via :func:`~repro.obs.use_registry`, so concurrent in-process
+    shard runs never interleave), snapshotted into ``outcome.metrics``.
+    """
     started = perf_counter()
     findings = StaleFindings()
     outcome = ShardOutcome(index=shard.index)
@@ -70,17 +81,18 @@ def run_shard(shard: BundleShard, config: WorkerConfig) -> ShardOutcome:
         revocation_cutoff_day=config.revocation_cutoff_day,
         whois_tlds=config.whois_tlds,
     )
-    for spec in DETECTOR_REGISTRY:
-        if spec.key not in config.enabled:
-            continue
-        view = shard.bundle_view(spec.key)
-        detector_started = perf_counter()
-        detector = spec.build(view, pipeline_config)
-        detector.detect(spec.inputs(view), findings)
-        outcome.detector_seconds[spec.key] = perf_counter() - detector_started
-        if spec.key == "key_compromise":
-            outcome.revocation_stats = detector.stats
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        for spec in DETECTOR_REGISTRY:
+            if spec.key not in config.enabled:
+                continue
+            view = shard.bundle_view(spec.key)
+            detector, elapsed = run_detector(spec, view, pipeline_config, findings)
+            outcome.detector_seconds[spec.key] = elapsed
+            if spec.key == "key_compromise":
+                outcome.revocation_stats = detector.stats
     outcome.findings = list(findings.all_findings())
+    outcome.metrics = registry.to_record()
     outcome.seconds = perf_counter() - started
     return outcome
 

@@ -13,7 +13,12 @@ shard, and the merge below is deterministic:
   shared by both engines);
 * per-shard :class:`RevocationJoinStats` are summed (the revocation axis
   partitions CRL entries exactly), and the merged stats is ``None``
-  precisely when the original bundle has no CRLs — matching batch.
+  precisely when the original bundle has no CRLs — matching batch;
+* per-shard obs-registry snapshots (``ShardOutcome.metrics``) are merged
+  in shard-index order — counters add, histograms add bucketwise, gauges
+  take the max, so the merge is order-independent in value — folded into
+  the process-wide :func:`~repro.obs.get_registry`, and attached to
+  :class:`~repro.parallel.stats.ShardStats` for the JSON output.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.core.pipeline import (
     merge_revocation_stats,
 )
 from repro.core.stale import StaleCertificate, StaleFindings
+from repro.obs import MetricsRegistry, get_registry
 from repro.parallel.executor import (
     ProcessPoolShardExecutor,
     SerialExecutor,
@@ -37,6 +43,21 @@ from repro.parallel.executor import (
 from repro.parallel.sharding import partition_bundle
 from repro.parallel.stats import ShardRecord, ShardStats
 from repro.util.dates import Day
+
+
+def merge_shard_metrics(outcomes: Sequence[ShardOutcome]) -> MetricsRegistry:
+    """Fold per-shard registry snapshots into one registry.
+
+    Outcomes are walked in the given (shard-index) order, but the merge
+    operations are commutative and associative — counters add, histogram
+    buckets add, gauges take the max — so any fold order yields the same
+    totals.
+    """
+    merged = MetricsRegistry()
+    for outcome in outcomes:
+        if outcome.metrics:
+            merged.merge(MetricsRegistry.from_record(outcome.metrics))
+    return merged
 
 
 def canonical_order_key(finding: StaleCertificate) -> Tuple[str, str, Day, str, str]:
@@ -110,6 +131,8 @@ class ParallelMeasurementPipeline:
             revocation_stats = merge_revocation_stats(
                 [o.revocation_stats for o in outcomes if o.revocation_stats is not None]
             )
+        merged_metrics = merge_shard_metrics(outcomes)
+        get_registry().merge(merged_metrics)
         merge_seconds = perf_counter() - merge_started
 
         return PipelineResult(
@@ -117,7 +140,13 @@ class ParallelMeasurementPipeline:
             revocation_stats=revocation_stats,
             windows=dict(self._bundle.windows),
             shard_stats=self._shard_stats(
-                plan, outcomes, executor, partition_seconds, execute_seconds, merge_seconds
+                plan,
+                outcomes,
+                executor,
+                partition_seconds,
+                execute_seconds,
+                merge_seconds,
+                merged_metrics,
             ),
         )
 
@@ -129,6 +158,7 @@ class ParallelMeasurementPipeline:
         partition_seconds: float,
         execute_seconds: float,
         merge_seconds: float,
+        merged_metrics: MetricsRegistry,
     ) -> ShardStats:
         stats = ShardStats(
             num_shards=plan.num_shards,
@@ -137,6 +167,7 @@ class ParallelMeasurementPipeline:
             partition_seconds=partition_seconds,
             execute_seconds=execute_seconds,
             merge_seconds=merge_seconds,
+            metrics=merged_metrics.to_record(),
         )
         for shard, outcome in zip(plan.shards, outcomes):
             stats.shards.append(

@@ -76,6 +76,11 @@ class ShardStats:
     execute_seconds: float = 0.0
     merge_seconds: float = 0.0
     shards: List[ShardRecord] = field(default_factory=list)
+    #: Merged obs-registry snapshot
+    #: (:meth:`~repro.obs.MetricsRegistry.to_record`) across all shards,
+    #: folded in shard-index order. Empty when the run predates the obs
+    #: layer or was deserialized from an older record.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_findings(self) -> int:
@@ -90,6 +95,7 @@ class ShardStats:
             "execute_seconds": self.execute_seconds,
             "merge_seconds": self.merge_seconds,
             "shards": [shard.to_record() for shard in self.shards],
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -102,6 +108,7 @@ class ShardStats:
             execute_seconds=float(record["execute_seconds"]),
             merge_seconds=float(record["merge_seconds"]),
             shards=[ShardRecord.from_record(r) for r in record.get("shards", [])],
+            metrics=dict(record.get("metrics", {})),
         )
 
     def summary_rows(self) -> List[Tuple[str, object]]:

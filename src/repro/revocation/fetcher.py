@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_registry, names, span
 from repro.revocation.crl import CertificateRevocationList
 from repro.revocation.publisher import DisclosedCrl, DisclosureList
 from repro.util.dates import Day
@@ -78,8 +79,11 @@ class CrlFetcher:
     ) -> None:
         """``max_attempts``: total tries per CRL per day. Only transient
         rate limiting is retried — blocked servers and parse failures are
-        deterministic and fail identically on every attempt. The default of
-        1 preserves the RNG draw sequence of seeded worlds."""
+        deterministic and fail identically on every attempt. Retry draws
+        come from a per-(url, day) fork of *rng*, never the shared stream
+        itself, so any ``max_attempts`` setting preserves the first-attempt
+        draw sequence of seeded worlds: one operator retrying cannot
+        perturb another operator's outcomes."""
         self._disclosure = disclosure
         self._rng = rng
         self._profiles = profiles or {}
@@ -94,14 +98,34 @@ class CrlFetcher:
         """Attempt every disclosed CRL (with retries for transient failures)."""
         crls: List[CertificateRevocationList] = []
         failures: List[Tuple[str, FetchOutcome]] = []
-        for row in self._disclosure.rows():
-            outcome, retries = self._attempt_with_retries(row)
-            stats = self.stats_by_operator.setdefault(row.ca_operator, FetchStats())
-            stats.record(outcome, retries=retries)
-            if outcome is FetchOutcome.OK:
-                crls.append(row.publisher.publish(fetch_day))
-            else:
-                failures.append((row.url, outcome))
+        registry = get_registry()
+        attempts_c = registry.counter(
+            names.CRL_FETCH_ATTEMPTS, names.CRL_FETCH_ATTEMPTS_HELP,
+            labels=("operator",),
+        )
+        retries_c = registry.counter(
+            names.CRL_FETCH_RETRIES, names.CRL_FETCH_RETRIES_HELP,
+            labels=("operator",),
+        )
+        outcomes_c = registry.counter(
+            names.CRL_FETCH_OUTCOMES, names.CRL_FETCH_OUTCOMES_HELP,
+            labels=("operator", "outcome"),
+        )
+        with span("crl_fetch_day", registry=registry, day=fetch_day):
+            for row in self._disclosure.rows():
+                outcome, retries = self._attempt_with_retries(row, fetch_day)
+                stats = self.stats_by_operator.setdefault(row.ca_operator, FetchStats())
+                stats.record(outcome, retries=retries)
+                attempts_c.inc(1 + retries, operator=row.ca_operator)
+                if retries:
+                    retries_c.inc(retries, operator=row.ca_operator)
+                outcomes_c.inc(
+                    1, operator=row.ca_operator, outcome=outcome.value
+                )
+                if outcome is FetchOutcome.OK:
+                    crls.append(row.publisher.publish(fetch_day))
+                else:
+                    failures.append((row.url, outcome))
         self.collected.extend(crls)
         return DailyFetchResult(day=fetch_day, crls=crls, failures=failures)
 
@@ -117,23 +141,33 @@ class CrlFetcher:
         succeeded = sum(s.succeeded for s in self.stats_by_operator.values())
         return succeeded / attempted if attempted else 0.0
 
-    def _attempt_with_retries(self, row: DisclosedCrl) -> Tuple[FetchOutcome, int]:
-        outcome = self._attempt(row)
+    def _attempt_with_retries(
+        self, row: DisclosedCrl, fetch_day: Day
+    ) -> Tuple[FetchOutcome, int]:
+        outcome = self._attempt(row, self._rng)
         retries = 0
+        retry_rng: Optional[RngStream] = None
         while (
             outcome is FetchOutcome.RATE_LIMITED
             and retries < self.max_attempts - 1
         ):
+            if retry_rng is None:
+                # Retries draw from a per-(url, day) fork of the shared
+                # stream — the fork is derived from the seed and labels,
+                # not the stream position, so retrying one URL never
+                # advances the shared stream and cannot perturb any other
+                # row's (or any later day's) outcomes.
+                retry_rng = self._rng.split("retry", row.url, str(fetch_day))
             retries += 1
-            outcome = self._attempt(row)
+            outcome = self._attempt(row, retry_rng)
         return outcome, retries
 
-    def _attempt(self, row: DisclosedCrl) -> FetchOutcome:
+    def _attempt(self, row: DisclosedCrl, rng: RngStream) -> FetchOutcome:
         profile = self.profile_for(row.ca_operator)
         if profile.blocked:
             return FetchOutcome.BLOCKED
-        if profile.rate_limit_probability and self._rng.bernoulli(profile.rate_limit_probability):
+        if profile.rate_limit_probability and rng.bernoulli(profile.rate_limit_probability):
             return FetchOutcome.RATE_LIMITED
-        if profile.parse_error_probability and self._rng.bernoulli(profile.parse_error_probability):
+        if profile.parse_error_probability and rng.bernoulli(profile.parse_error_probability):
             return FetchOutcome.PARSE_ERROR
         return FetchOutcome.OK

@@ -27,7 +27,12 @@ the same bundle — with or without a kill/resume in the middle.
 """
 
 from repro.stream.bus import EventBus
-from repro.stream.checkpoint import CheckpointMismatchError, CheckpointStore
+from repro.stream.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+)
 from repro.stream.detectors import (
     IncrementalKeyCompromiseDetector,
     IncrementalManagedTlsDetector,
@@ -53,6 +58,8 @@ from repro.stream.metrics import StreamStats
 
 __all__ = [
     "EventBus",
+    "CheckpointCorruptError",
+    "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointStore",
     "IncrementalKeyCompromiseDetector",

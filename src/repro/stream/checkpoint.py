@@ -9,12 +9,15 @@ resume, so checkpoints stay small (kilobytes, not the corpus).
 Writes are atomic (tmp + rename via :func:`repro.util.storage.dump_json`),
 so a kill mid-checkpoint leaves the previous checkpoint intact. A bundle
 fingerprint guards against resuming against a different world; mismatch
-raises :class:`CheckpointMismatchError` rather than silently diverging.
+raises :class:`CheckpointMismatchError` rather than silently diverging, and
+an unreadable (truncated/corrupt) file raises :class:`CheckpointCorruptError`
+naming the path instead of leaking a raw gzip/JSON traceback.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from typing import Optional
 
 from repro.util.storage import dump_json, load_json
@@ -23,8 +26,22 @@ from repro.util.storage import dump_json, load_json
 CHECKPOINT_FORMAT_VERSION = 1
 
 
-class CheckpointMismatchError(RuntimeError):
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load/restore failures."""
+
+
+class CheckpointMismatchError(CheckpointError):
     """The checkpoint on disk does not belong to the bundle being replayed."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The checkpoint file exists but cannot be read back.
+
+    Raised for truncated gzip streams, corrupt compressed data, and
+    malformed JSON — a kill mid-:func:`~repro.util.storage.dump_json`
+    cannot produce these (writes are atomic), but disk faults, manual
+    edits, and copied partial files can.
+    """
 
 
 class CheckpointStore:
@@ -46,10 +63,27 @@ class CheckpointStore:
         return dump_json(self.path, document)
 
     def load(self) -> Optional[dict]:
-        """The stored state, or None when no checkpoint exists yet."""
+        """The stored state, or None when no checkpoint exists yet.
+
+        Raises :class:`CheckpointCorruptError` for unreadable files and
+        :class:`CheckpointMismatchError` for incompatible format versions.
+        """
         if not self.exists():
             return None
-        document = load_json(self.path)
+        try:
+            # gzip raises BadGzipFile (an OSError) on corrupt headers,
+            # EOFError on truncation, zlib.error on corrupt deflate data;
+            # load_json wraps malformed JSON into ValueError.
+            document = load_json(self.path)
+        except (EOFError, OSError, ValueError, zlib.error) as error:
+            raise CheckpointCorruptError(
+                f"checkpoint {self.path} is truncated or corrupt ({error}); "
+                "delete it (or run without --resume) to start fresh"
+            ) from error
+        if not isinstance(document, dict):
+            raise CheckpointCorruptError(
+                f"checkpoint {self.path} does not hold a checkpoint document"
+            )
         version = document.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
             raise CheckpointMismatchError(

@@ -184,14 +184,22 @@ class StreamEngine:
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_every_days: int = DEFAULT_CHECKPOINT_EVERY_DAYS,
         on_finding: Optional[FindingCallback] = None,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
+        """``registry`` overrides the shared obs registry the engine's
+        :class:`StreamStats` are bridged onto (default: the process-wide
+        registry from :func:`repro.obs.get_registry`)."""
+        from repro.obs import get_registry
+
         self._bundle = bundle
         self._fingerprint = bundle_fingerprint(bundle)
         self._store = checkpoint_store
         self._checkpoint_every = max(1, checkpoint_every_days)
         self._on_finding = on_finding
+        self._registry = registry if registry is not None else get_registry()
 
         self.stats = StreamStats()
+        self.stats.bind_registry(self._registry)
         self.bus = EventBus(self.stats)
         self._kc = IncrementalKeyCompromiseDetector(revocation_cutoff_day)
         self._rc = IncrementalRegistrantChangeDetector(whois_tlds)
@@ -319,7 +327,7 @@ class StreamEngine:
             },
         }
         self._store.save(state)
-        self.stats.checkpoints_written += 1
+        self.stats.record_checkpoint()
 
     def _restore(self) -> bool:
         state = self._store.load()
@@ -332,8 +340,12 @@ class StreamEngine:
             )
         self._cursor = state.get("cursor_day")
         self._finalized = state.get("finalized", False)
+        self.stats.bind_registry(None)  # detach the pre-restore stats
         self.stats = StreamStats.from_record(state.get("stats", {}))
         self.stats.resumed_from_day = self._cursor
+        # Rebind so the registry is seeded with the checkpointed totals
+        # and go-forward records keep mirroring onto it.
+        self.stats.bind_registry(self._registry)
         self.bus.stats = self.stats
 
         detectors = state.get("detectors", {})

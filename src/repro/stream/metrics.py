@@ -5,6 +5,14 @@ never had to report: how many events of each type flowed, how long handler
 dispatch takes, how deep the bus queue gets, and how many findings each
 staleness class has produced. :class:`StreamStats` accumulates them and
 round-trips through checkpoints so counters survive a kill/resume.
+
+:meth:`StreamStats.bind_registry` bridges the stats onto a shared
+:class:`~repro.obs.MetricsRegistry` so watch-mode counters and batch
+counters share one namespace (the findings counter a shard worker
+increments is the same series the stream engine increments). The bound
+registry is deliberately *not* serialized — checkpoint round-trip is
+byte-identical with or without a bridge — and binding a restored stats
+object seeds the registry with the checkpointed totals first.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
 from repro.util.dates import Day, day_to_iso
 
 
@@ -29,6 +39,54 @@ class StreamStats:
     checkpoints_written: int = 0
     resumed_from_day: Optional[Day] = None
 
+    # The obs bridge (never serialized; rebound after a checkpoint restore).
+    _registry = None
+
+    # -- obs bridge ----------------------------------------------------------
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Mirror these stats onto *registry* (pass ``None`` to unbind).
+
+        Counts already accumulated — e.g. restored from a checkpoint —
+        are seeded into the registry immediately; subsequent records
+        mirror incrementally. Handler latencies are mirrored into a
+        histogram going forward only (a checkpoint stores per-type sums,
+        not bucketized samples).
+        """
+        self._registry = registry
+        if registry is None:
+            self._c_events = self._c_findings = self._c_days = None
+            self._c_checkpoints = self._g_queue = self._h_handler = None
+            return
+        self._c_events = registry.counter(
+            names.STREAM_EVENTS, names.STREAM_EVENTS_HELP, labels=("type",)
+        )
+        self._c_findings = registry.counter(
+            names.FINDINGS_TOTAL, names.FINDINGS_TOTAL_HELP,
+            labels=("staleness_class",),
+        )
+        self._c_days = registry.counter(names.STREAM_DAYS, names.STREAM_DAYS_HELP)
+        self._c_checkpoints = registry.counter(
+            names.STREAM_CHECKPOINTS, names.STREAM_CHECKPOINTS_HELP
+        )
+        self._g_queue = registry.gauge(
+            names.STREAM_MAX_QUEUE_DEPTH, names.STREAM_MAX_QUEUE_DEPTH_HELP
+        )
+        self._h_handler = registry.histogram(
+            names.STREAM_HANDLER_SECONDS, names.STREAM_HANDLER_SECONDS_HELP,
+            labels=("type",),
+        )
+        for type_value, count in self.events_by_type.items():
+            self._c_events.inc(count, type=type_value)
+        for class_value, count in self.findings_by_class.items():
+            self._c_findings.inc(count, staleness_class=class_value)
+        if self.days_processed:
+            self._c_days.inc(self.days_processed)
+        if self.checkpoints_written:
+            self._c_checkpoints.inc(self.checkpoints_written)
+        if self.max_queue_depth:
+            self._g_queue.set_max(self.max_queue_depth)
+
     # -- recording ----------------------------------------------------------
 
     def record_event(self, type_value: str, elapsed_seconds: float) -> None:
@@ -36,11 +94,16 @@ class StreamStats:
         self.handler_seconds_by_type[type_value] = (
             self.handler_seconds_by_type.get(type_value, 0.0) + elapsed_seconds
         )
+        if self._registry is not None:
+            self._c_events.inc(1, type=type_value)
+            self._h_handler.observe(elapsed_seconds, type=type_value)
 
     def record_finding(self, class_value: str) -> None:
         self.findings_by_class[class_value] = (
             self.findings_by_class.get(class_value, 0) + 1
         )
+        if self._registry is not None:
+            self._c_findings.inc(1, staleness_class=class_value)
 
     def record_day(self, event_day: Day) -> None:
         self.days_processed += 1
@@ -48,10 +111,19 @@ class StreamStats:
             self.first_event_day = event_day
         if self.last_event_day is None or event_day > self.last_event_day:
             self.last_event_day = event_day
+        if self._registry is not None:
+            self._c_days.inc(1)
+
+    def record_checkpoint(self) -> None:
+        self.checkpoints_written += 1
+        if self._registry is not None:
+            self._c_checkpoints.inc(1)
 
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
+            if self._registry is not None:
+                self._g_queue.set_max(depth)
 
     # -- views --------------------------------------------------------------
 

@@ -40,9 +40,17 @@ iso = day_to_iso
 def parse_day(text: str) -> Day:
     """Parse ``YYYY-MM-DD`` (or ``YYYY/MM/DD``) into a :data:`Day`.
 
+    Slashes are normalized to dashes only when the input uses slashes
+    consistently; mixed-separator input like ``2020-01/02`` is rejected.
     Raises ``ValueError`` for malformed input.
     """
-    normalized = text.strip().replace("/", "-")
+    normalized = text.strip()
+    if "/" in normalized:
+        if "-" in normalized:
+            raise ValueError(
+                f"mixed date separators in {normalized!r} (want YYYY-MM-DD)"
+            )
+        normalized = normalized.replace("/", "-")
     return _dt.date.fromisoformat(normalized).toordinal()
 
 

@@ -101,39 +101,53 @@ def interval_sweep_join(
     falls within the item's interval (strictly inside by default, per the
     paper's registrant-change criterion).
 
-    Complexity is ``O((n + m) log (n + m) + k)`` for *n* intervals, *m*
-    events, and *k* emitted pairs, versus ``O(n * m)`` for the brute-force
-    join (see ``naive_join``). The sweep walks events in day order keeping a
-    min-heap of active intervals ordered by end day.
+    Complexity is ``O((n + m) log (n + m) + S)`` for *n* intervals and *m*
+    events, where ``S`` is the total number of active intervals scanned
+    across all events (``k <= S`` for *k* emitted pairs; ``S`` approaches
+    *k* when few active intervals are excluded by endpoint strictness).
+    That beats the brute-force ``O(n * m)`` join (see ``naive_join``)
+    whenever intervals are short relative to the event span. The sweep
+    walks events in day order keeping a min-heap of active intervals
+    ordered by end day, and reports scan/pair totals to the shared obs
+    registry (``repro_interval_sweep_*``) when the join runs to completion.
     """
+    from repro.obs import get_registry, names
+
     order = sorted(range(len(intervals)), key=lambda i: interval_of(intervals[i]).start)
     sorted_events = sorted(events, key=event_day)
 
     active: List[Tuple[int, int]] = []  # (end, interval index) min-heap
     cursor = 0
+    scanned = 0
+    emitted = 0
     for event in sorted_events:
         point = event_day(event)
-        # Admit every interval that has started by this point.
+        # Admit every interval that has started by this point (a start
+        # exactly at the point is excluded under strict containment for
+        # this event, but may still contain later events).
         while cursor < len(order):
             idx = order[cursor]
             iv = interval_of(intervals[idx])
-            if iv.start < point or (not strict and iv.start == point):
-                heapq.heappush(active, (iv.end, idx))
-                cursor += 1
-            elif iv.start == point and strict:
-                # Starts exactly at the point: excluded under strict
-                # containment for this event but may contain later events.
-                heapq.heappush(active, (iv.end, idx))
-                cursor += 1
-            else:
+            if iv.start > point:
                 break
-        # Retire intervals that have ended before this point.
-        while active and active[0][0] < point:
+            heapq.heappush(active, (iv.end, idx))
+            cursor += 1
+        # Retire intervals that can no longer contain this or any later
+        # point: ends strictly before the point always; under strict
+        # containment also ends exactly at the point (``end == point``
+        # cannot strictly contain it, nor any later point).
+        while active and (active[0][0] < point or (strict and active[0][0] == point)):
             heapq.heappop(active)
+        scanned += len(active)
         for end, idx in active:
             iv = interval_of(intervals[idx])
             if iv.contains(point, strict=strict):
+                emitted += 1
                 yield event, intervals[idx]
+
+    registry = get_registry()
+    registry.counter(names.SWEEP_SCANS, names.SWEEP_SCANS_HELP).inc(scanned)
+    registry.counter(names.SWEEP_PAIRS, names.SWEEP_PAIRS_HELP).inc(emitted)
 
 
 def naive_join(

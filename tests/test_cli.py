@@ -41,6 +41,18 @@ class TestParser:
         assert args.days is None
         assert args.format == "text"
 
+    @pytest.mark.parametrize("command", ["detect", "lifetime", "report", "watch"])
+    def test_observability_flags_accepted(self, command):
+        args = build_parser().parse_args([command, "--metrics-out", "m.prom", "--log-json"])
+        assert args.metrics_out == "m.prom"
+        assert args.log_json is True
+
+    @pytest.mark.parametrize("command", ["detect", "lifetime", "report", "watch"])
+    def test_observability_flags_default_off(self, command):
+        args = build_parser().parse_args([command])
+        assert args.metrics_out is None
+        assert args.log_json is False
+
 
 class TestCommands:
     def test_simulate(self, capsys):
@@ -105,6 +117,25 @@ class TestCommands:
 
     def test_advise_invalid_date(self, capsys):
         assert main(ARGS + ["advise", "x.com", "--acquired", "soon"]) == 2
+
+    def test_advise_mixed_separator_date_rejected(self, capsys):
+        # Regression: "2020-01/02" used to be silently normalized into a
+        # valid date instead of failing with the usage error.
+        assert main(ARGS + ["advise", "x.com", "--acquired", "2020-01/02"]) == 2
+        assert "invalid date" in capsys.readouterr().err
+
+    def test_log_json_emits_structured_records(self, capsys):
+        assert main(ARGS + ["simulate"]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["detect", "--log-json"]) == 0
+        err = capsys.readouterr().err
+        span_lines = [
+            json.loads(line) for line in err.splitlines() if line.startswith("{")
+        ]
+        assert any(
+            record["event"] == "span" and record["name"] == "detector"
+            for record in span_lines
+        )
 
     def test_detect_format_json(self, capsys):
         assert main(ARGS + ["detect", "--format", "json"]) == 0
@@ -210,3 +241,23 @@ class TestWatch:
         assert payload["complete"] is True
         assert payload["table4"]
         assert sum(payload["stats"]["events_by_type"].values()) > 0
+
+    def test_watch_resume_corrupt_checkpoint_clean_error(self, tmp_path, capsys):
+        # Regression: a truncated checkpoint used to surface as a raw
+        # EOFError/BadGzipFile traceback instead of a usage error.
+        ckpt = str(tmp_path / "ckpt")
+        assert main(ARGS + ["watch", "--days", "60", "--checkpoint-dir", ckpt,
+                            "--checkpoint-every", "20"]) == 0
+        capsys.readouterr()
+        from repro.stream import CheckpointStore
+
+        store = CheckpointStore(ckpt)
+        with open(store.path, "rb") as handle:
+            payload = handle.read()
+        with open(store.path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        code = main(ARGS + ["watch", "--checkpoint-dir", ckpt, "--resume"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "truncated or corrupt" in err

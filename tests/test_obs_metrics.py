@@ -1,0 +1,245 @@
+"""Unit tests for repro.obs.metrics: registry, merge, exposition."""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    parse_text,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        c = registry.counter("c_total", "help", labels=("op",))
+        c.inc(op="a")
+        c.inc(2, op="a")
+        c.inc(5, op="b")
+        assert c.value(op="a") == 3
+        assert c.value(op="b") == 5
+        assert c.value(op="missing") == 0
+        assert registry.counter_total("c_total") == 8
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_label_names_enforced(self):
+        c = MetricsRegistry().counter("c_total", labels=("op",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1, wrong="x")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1)
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(7)
+        assert g.value() == 7
+        g.set_max(3)
+        assert g.value() == 7  # high-water mark keeps the larger
+        g.set_max(11)
+        assert g.value() == 11
+        g.set(2)
+        assert g.value() == 2  # plain set always overwrites
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(value)
+        data = h.data()
+        # le-inclusive: 0.5 and 1.0 in the first bucket, 1.5 and 2.0 in
+        # the second, 99.0 in +Inf.
+        assert data.bucket_counts == [2, 2, 1]
+        assert data.count == 5
+        assert data.sum == pytest.approx(104.0)
+
+    def test_rendered_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", "t", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(value)
+        samples = parse_text(registry.render_text())
+        assert samples['h_seconds_bucket{le="1"}'] == 2
+        assert samples['h_seconds_bucket{le="2"}'] == 4
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 5
+        assert samples["h_seconds_count"] == 5
+
+    def test_rejects_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_sub_millisecond_and_minutes(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 30.0
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "h", labels=("x",)).inc(1, x="a")
+        registry.counter("c", "h", labels=("x",)).inc(1, x="a")
+        assert registry.counter_total("c") == 2
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("m")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labels=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("m", labels=("b",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("m", buckets=(1.0,))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("m", buckets=(2.0,))
+
+
+def _sample_registry(counter_by_op, gauge_value, observations):
+    registry = MetricsRegistry()
+    c = registry.counter("jobs_total", "jobs", labels=("op",))
+    for op, amount in counter_by_op.items():
+        c.inc(amount, op=op)
+    registry.gauge("depth", "max depth").set_max(gauge_value)
+    h = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    for value in observations:
+        h.observe(value)
+    return registry
+
+
+class TestMerge:
+    PARTS = [
+        ({"a": 2, "b": 1}, 5, [0.05, 0.5]),
+        ({"b": 4}, 9, [2.0]),
+        ({"a": 1, "c": 7}, 3, [0.05, 0.05, 5.0]),
+    ]
+
+    def _merged_record(self, order):
+        merged = MetricsRegistry()
+        for i in order:
+            merged.merge(_sample_registry(*self.PARTS[i]))
+        return merged.to_record()
+
+    def test_merge_is_order_independent(self):
+        records = [
+            self._merged_record(order)
+            for order in itertools.permutations(range(len(self.PARTS)))
+        ]
+        assert all(record == records[0] for record in records)
+
+    def test_merge_is_associative(self):
+        a, b, c = (_sample_registry(*part).to_record() for part in self.PARTS)
+        left = MetricsRegistry.from_record(a)
+        left.merge(b)
+        left.merge(c)
+        inner = MetricsRegistry.from_record(b)
+        inner.merge(c)
+        right = MetricsRegistry.from_record(a)
+        right.merge(inner)
+        assert left.to_record() == right.to_record()
+
+    def test_merge_semantics(self):
+        merged = MetricsRegistry()
+        for part in self.PARTS:
+            merged.merge(_sample_registry(*part))
+        assert merged.counter_total("jobs_total") == 15  # counters add
+        assert merged.gauge("depth").value() == 9  # gauges take max
+        data = merged.histogram("lat_seconds", buckets=(0.1, 1.0)).data()
+        assert data.count == 6  # histograms add
+        assert data.bucket_counts == [3, 1, 2]
+
+    def test_merge_rejects_differing_bucket_layouts(self):
+        one = MetricsRegistry()
+        one.histogram("h", buckets=(1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            one.merge(other)
+
+    def test_round_trip_record(self):
+        registry = _sample_registry(*self.PARTS[0])
+        rebuilt = MetricsRegistry.from_record(registry.to_record())
+        assert rebuilt.to_record() == registry.to_record()
+
+
+class TestRenderText:
+    def test_golden_output(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served.", labels=("op",)).inc(
+            3, op="fetch"
+        )
+        registry.gauge("depth", "Queue depth high-water mark.").set(2)
+        registry.histogram("lat_seconds", "Latency.", buckets=(0.5,)).observe(0.25)
+        assert registry.render_text() == (
+            "# HELP depth Queue depth high-water mark.\n"
+            "# TYPE depth gauge\n"
+            "depth 2\n"
+            "# HELP lat_seconds Latency.\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.5"} 1\n'
+            'lat_seconds_bucket{le="+Inf"} 1\n'
+            "lat_seconds_sum 0.25\n"
+            "lat_seconds_count 1\n"
+            "# HELP requests_total Requests served.\n"
+            "# TYPE requests_total counter\n"
+            'requests_total{op="fetch"} 3\n'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("p",)).inc(1, p='sla\\sh "quote"\nline')
+        text = registry.render_text()
+        assert 'c{p="sla\\\\sh \\"quote\\"\\nline"} 1' in text
+
+    def test_write_textfile_round_trips(self, tmp_path):
+        registry = _sample_registry({"a": 2}, 5, [0.05])
+        path = registry.write_textfile(str(tmp_path / "sub" / "metrics.prom"))
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert parse_text(text)['jobs_total{op="a"}'] == 2
+        assert not (tmp_path / "sub" / "metrics.prom.tmp").exists()
+
+
+class TestUseRegistry:
+    def test_scopes_get_registry(self):
+        default = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            with use_registry() as inner:
+                assert get_registry() is inner
+            assert get_registry() is scoped
+        assert get_registry() is default
+
+    def test_scoping_is_per_thread(self):
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = get_registry()
+
+        with use_registry() as scoped:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert seen["in_thread"] is not scoped

@@ -146,6 +146,111 @@ class TestRetries:
         assert fetcher.max_attempts == 1
 
 
+class TestRetryRngIsolation:
+    """Regression: retry draws must not consume from the shared stream.
+
+    Pre-fix, every retry advanced the one ``RngStream`` all operators
+    share, so turning retries on for a flaky operator shifted the draw
+    sequence seen by every operator disclosed after it — seeded worlds
+    changed outcomes based on an unrelated operator's retry setting.
+    Retries now draw from a per-(url, day) fork derived from the seed,
+    leaving the shared stream untouched.
+    """
+
+    @pytest.fixture()
+    def flaky_then_observed(self, key_store):
+        disclosure = DisclosureList()
+        # FlakyOp is disclosed FIRST so its (pre-fix) retry draws would
+        # shift the stream before ObservedOp's daily draw.
+        for name, operator in (("Flaky CA", "FlakyOp"), ("Observed CA", "ObservedOp")):
+            ca = CertificateAuthority(
+                name, key_store, policy=IssuancePolicy(require_validation=False),
+                operator=operator,
+            )
+            disclosure.disclose(CaCrlPublisher(ca))
+        return disclosure
+
+    PROFILES = {
+        "FlakyOp": FailureProfile(rate_limit_probability=0.5),  # retried
+        "ObservedOp": FailureProfile(parse_error_probability=0.5),  # never retried
+    }
+
+    def _observed_outcomes(self, disclosure, max_attempts):
+        fetcher = CrlFetcher(
+            disclosure,
+            RngStream(99, "fetch"),
+            profiles=self.PROFILES,
+            max_attempts=max_attempts,
+        )
+        outcomes = []
+        for current in range(T0, T0 + 200):
+            result = fetcher.fetch_day(current)
+            outcomes.append(
+                sorted(o.value for url, o in result.failures if "observed" in url)
+            )
+        return fetcher.stats_by_operator["ObservedOp"], outcomes
+
+    def test_other_operators_retries_do_not_perturb_outcomes(self, flaky_then_observed):
+        baseline_stats, baseline = self._observed_outcomes(flaky_then_observed, 1)
+        retried_stats, retried = self._observed_outcomes(flaky_then_observed, 4)
+        assert baseline == retried
+        assert baseline_stats.outcomes == retried_stats.outcomes
+        # ObservedOp itself never retries (parse errors are deterministic),
+        # so any outcome difference could only come from stream pollution.
+        assert baseline_stats.retries == retried_stats.retries == 0
+
+    def test_flaky_operator_actually_retries(self, flaky_then_observed):
+        fetcher = CrlFetcher(
+            flaky_then_observed,
+            RngStream(99, "fetch"),
+            profiles=self.PROFILES,
+            max_attempts=4,
+        )
+        fetcher.fetch_range(T0, T0 + 199)
+        assert fetcher.stats_by_operator["FlakyOp"].retries > 0
+
+    def test_retry_draws_are_deterministic_per_url_and_day(self, flaky_then_observed):
+        runs = [
+            self._observed_outcomes(flaky_then_observed, 4)[1] for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestObsCounters:
+    def test_fetch_counters_match_stats(self, disclosure, key_store):
+        from repro.obs import names, use_registry
+
+        with use_registry() as registry:
+            fetcher = CrlFetcher(
+                disclosure,
+                RngStream(1, "f"),
+                profiles={"GoodOp": FailureProfile(rate_limit_probability=0.6)},
+                max_attempts=3,
+            )
+            fetcher.fetch_range(T0, T0 + 49)
+            attempts = registry.counter(
+                names.CRL_FETCH_ATTEMPTS, names.CRL_FETCH_ATTEMPTS_HELP,
+                labels=("operator",),
+            )
+            retries = registry.counter(
+                names.CRL_FETCH_RETRIES, names.CRL_FETCH_RETRIES_HELP,
+                labels=("operator",),
+            )
+            outcomes = registry.counter(
+                names.CRL_FETCH_OUTCOMES, names.CRL_FETCH_OUTCOMES_HELP,
+                labels=("operator", "outcome"),
+            )
+            for operator, stats in fetcher.stats_by_operator.items():
+                assert attempts.value(operator=operator) == (
+                    stats.attempted + stats.retries
+                )
+                assert retries.value(operator=operator) == stats.retries
+                for outcome_value, count in stats.outcomes.items():
+                    assert outcomes.value(
+                        operator=operator, outcome=outcome_value
+                    ) == count
+
+
 class TestPartialSeries:
     """Failed fetch days leave gaps; because CRLs are cumulative, a later
     successful fetch still recovers revocations missed during the outage."""

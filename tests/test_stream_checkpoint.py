@@ -11,6 +11,8 @@ import os
 import pytest
 
 from repro.stream import (
+    CheckpointCorruptError,
+    CheckpointError,
     CheckpointMismatchError,
     CheckpointStore,
     StreamEngine,
@@ -144,3 +146,60 @@ class TestCheckpointStore:
         dump_json(store.path, {"format_version": 999})
         with pytest.raises(CheckpointMismatchError, match="v999"):
             store.load()
+
+
+class TestCorruptCheckpoints:
+    """Regression: unreadable checkpoints raised raw gzip/JSON tracebacks
+    (``BadGzipFile`` / ``EOFError`` / ``JSONDecodeError``) instead of a
+    checkpoint-layer error naming the file and the remedy."""
+
+    def test_garbage_bytes_raise_corrupt_error(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        os.makedirs(store.directory, exist_ok=True)
+        with open(store.path, "wb") as handle:
+            handle.write(b"this is not a gzip stream")
+        with pytest.raises(CheckpointCorruptError, match="truncated or corrupt"):
+            store.load()
+
+    def test_truncated_gzip_raises_corrupt_error(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"cursor_day": 42, "detectors": {}})
+        with open(store.path, "rb") as handle:
+            payload = handle.read()
+        assert len(payload) > 12
+        with open(store.path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])  # deliberate truncation
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            store.load()
+        assert store.path in str(excinfo.value)
+
+    def test_non_document_payload_raises_corrupt_error(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        dump_json(store.path, [1, 2, 3])
+        with pytest.raises(CheckpointCorruptError, match="checkpoint document"):
+            store.load()
+
+    def test_corrupt_error_is_a_checkpoint_error(self):
+        # The CLI catches the base class to cover mismatch AND corruption.
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+        assert issubclass(CheckpointMismatchError, CheckpointError)
+
+    def test_resume_against_corrupt_checkpoint_raises(
+        self, small_bundle, cutoff, tmp_path
+    ):
+        store = CheckpointStore(str(tmp_path))
+        engine = StreamEngine(
+            small_bundle,
+            revocation_cutoff_day=cutoff,
+            checkpoint_store=store,
+            checkpoint_every_days=5,
+        )
+        engine.replay(max_days=10)
+        with open(store.path, "rb") as handle:
+            payload = handle.read()
+        with open(store.path, "wb") as handle:
+            handle.write(payload[: len(payload) // 3])
+        with pytest.raises(CheckpointCorruptError):
+            StreamEngine(
+                small_bundle, revocation_cutoff_day=cutoff, checkpoint_store=store
+            ).replay(resume=True)

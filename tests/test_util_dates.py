@@ -45,6 +45,17 @@ class TestDayConversions:
         with pytest.raises(ValueError):
             parse_day("2022-13-01")
 
+    def test_parse_day_rejects_mixed_separators(self):
+        # Regression: "2020-01/02" used to normalize to "2020-01-02"
+        # instead of being rejected as malformed.
+        for garbage in ("2020-01/02", "2020/01-02", "2020/01-02/03"):
+            with pytest.raises(ValueError, match="mixed date separators"):
+                parse_day(garbage)
+
+    def test_parse_day_accepts_consistent_slashes_only(self):
+        assert parse_day("2020/01/02") == day(2020, 1, 2)
+        assert parse_day(" 2020/01/02 ") == day(2020, 1, 2)
+
     @given(st.integers(min_value=1, max_value=3_500_000))
     def test_roundtrip_parse_render(self, ordinal):
         assert parse_day(day_to_iso(ordinal)) == ordinal

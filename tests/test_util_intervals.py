@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.obs import names, use_registry
 from repro.util.intervals import (
     Interval,
     intersect_intervals,
@@ -99,3 +100,55 @@ class TestSweepJoin:
         assert _run_join(interval_sweep_join, intervals, points, strict) == _run_join(
             naive_join, intervals, points, strict
         )
+
+    def test_sweep_matches_naive_on_endpoint_dense_data(self):
+        """Many intervals ending exactly at event points, both strictness modes."""
+        intervals = [Interval(start, 50) for start in range(0, 50, 2)]
+        intervals += [Interval(10, end) for end in range(10, 60, 5)]
+        points = [10, 50, 50, 55, 15]
+        for strict in (True, False):
+            assert _run_join(
+                interval_sweep_join, intervals, points, strict
+            ) == _run_join(naive_join, intervals, points, strict)
+
+
+class TestSweepRetirement:
+    """Regression: under strict containment, intervals with ``end == point``
+    must be retired from the active heap, not rescanned at every event.
+
+    The pre-fix sweep only retired ``end < point``, so endpoint-dense data
+    degraded to the quadratic join (output stayed correct — ``contains``
+    filtered the stale entries — but every event rescanned them). The
+    ``repro_interval_sweep_scans_total`` counter makes this observable.
+    """
+
+    def _scans(self, intervals, points, strict):
+        with use_registry() as registry:
+            _run_join(interval_sweep_join, intervals, points, strict)
+            return registry.counter_total(names.SWEEP_SCANS)
+
+    def test_strict_retires_intervals_ending_at_point(self):
+        n = 40
+        intervals = [Interval(0, 100)] * n
+        points = [100] * n  # every interval ends exactly at every event
+        assert self._scans(intervals, points, strict=True) == 0
+
+    def test_non_strict_keeps_intervals_ending_at_point(self):
+        # end == point pairs ARE emitted non-strictly, so they must stay.
+        intervals = [Interval(0, 100)] * 5
+        assert self._scans(intervals, [100], strict=False) == 5
+
+    def test_strict_scan_count_stays_linear_on_chained_endpoints(self):
+        # Interval i ends exactly at event i: after the fix each event
+        # scans only the intervals still able to contain a later point.
+        n = 30
+        intervals = [Interval(0, i) for i in range(1, n + 1)]
+        points = list(range(1, n + 1))
+        scans = self._scans(intervals, points, strict=True)
+        # Pre-fix this was Theta(n^2) (~465 for n=30); post-fix each event
+        # scans exactly the intervals with end > point: n-1, n-2, ... but
+        # they also strictly contain the point, so scans == emitted pairs.
+        with use_registry() as registry:
+            pairs = len(_run_join(interval_sweep_join, intervals, points, True))
+            assert registry.counter_total(names.SWEEP_PAIRS) == pairs
+        assert scans == pairs
