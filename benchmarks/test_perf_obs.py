@@ -1,0 +1,80 @@
+"""Performance guard — span tracing must stay close to free.
+
+Not a paper experiment: bounds the cost of the observability layer so
+``--trace-out`` can be left on for whole measurement runs. The detect
+pipeline is run over the same scale-0.1 bundle twice — collector off
+(the :func:`~repro.obs.get_collector` ``None`` fast path) and collector
+on (every span buffering a begin/end event pair) — best-of-3 each, and
+the traced leg must be within ``MAX_OVERHEAD`` of the untraced one.
+
+The off leg also asserts the fast path really is off: no collector is
+installed, so nothing buffers and nothing is exported.
+"""
+
+from time import perf_counter
+
+from repro import MeasurementPipeline, WorldConfig, simulate_world
+from repro.analysis.report import render_table
+from repro.obs import get_collector, use_collector
+
+#: Scale of the overhead-gate world (smaller than the bench world: this
+#: test runs the pipeline six times).
+OBS_BENCH_SCALE = 0.1
+
+#: Allowed relative slowdown with the collector on.
+MAX_OVERHEAD = 0.10
+
+ROUNDS = 3
+
+
+def _best_of(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        started = perf_counter()
+        fn()
+        times.append(perf_counter() - started)
+    return min(times)
+
+
+def test_perf_tracing_overhead(emit_report):
+    world = simulate_world(WorldConfig(seed=20231024).scaled(OBS_BENCH_SCALE))
+    bundle = world.to_bundle()
+    cutoff = world.config.timeline.revocation_cutoff
+
+    def run_pipeline():
+        return MeasurementPipeline(bundle, revocation_cutoff_day=cutoff).run()
+
+    # Off leg: no collector anywhere, so span() takes the None fast path.
+    assert get_collector() is None
+    off_seconds = _best_of(run_pipeline)
+
+    # On leg: every span records into a scoped collector.
+    events = 0
+    with use_collector() as collector:
+        on_seconds = _best_of(run_pipeline)
+        events = len(collector)
+    assert events > 0, "collector saw no spans — tracing is not wired in"
+    assert collector.dropped == 0
+
+    overhead = (on_seconds - off_seconds) / off_seconds
+    emit_report(
+        "perf_obs",
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ("certificates", f"{len(bundle.corpus):,}"),
+                (f"untraced best-of-{ROUNDS} seconds", f"{off_seconds:.3f}"),
+                (f"traced best-of-{ROUNDS} seconds", f"{on_seconds:.3f}"),
+                ("trace events buffered", f"{events:,}"),
+                ("overhead", f"{overhead * 100:+.1f}%"),
+                ("gate", f"< {MAX_OVERHEAD * 100:.0f}%"),
+            ],
+            title="Performance: span tracing overhead on the detect pipeline "
+            f"(scale {OBS_BENCH_SCALE})",
+        ),
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% "
+        f"({off_seconds:.3f}s untraced vs {on_seconds:.3f}s traced)"
+    )

@@ -10,17 +10,28 @@ Drives the full reproduction from a shell::
     python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
     python -m repro watch     --scale 0.1 --checkpoint-dir /tmp/ckpt --resume
     python -m repro detect    --scale 0.1 --metrics-out metrics.prom --log-json
+    python -m repro detect    --scale 0.1 --workers 4 --trace-out trace.json
+    python -m repro profile   trace.json --top 10
+    python -m repro obs-diff  benchmarks/baselines/detect-scale002 run/
 
 Every command simulates (or reuses, within one invocation) a seeded world,
 so results are reproducible given ``--seed``/``--scale``.
 
 The pipeline-running subcommands (detect / lifetime / report / watch) share
-two observability flags: ``--metrics-out FILE`` writes a Prometheus-style
+three observability flags: ``--metrics-out FILE`` writes a Prometheus-style
 text exposition of the run's :mod:`repro.obs` registry (per-operator CRL
 fetch outcomes, per-detector duration histograms, finding counters by
-staleness class, stream/shard counters), and ``--log-json`` emits
-structured JSON log records to stderr. Each invocation records into a
-fresh registry, so the textfile describes exactly one run.
+staleness class, stream/shard counters) plus a ``run.json`` manifest next
+to it; ``--trace-out FILE`` exports the run's span trace as Chrome
+trace-event JSON with every shard worker on its own deterministic lane;
+and ``--log-json`` emits structured JSON log records to stderr. Each
+invocation records into a fresh registry/collector, so the artifacts
+describe exactly one run — and they are written from a ``finally``, so a
+crashed or interrupted run still emits its partial telemetry.
+
+``profile`` aggregates an exported trace (per-span self/cumulative time
+and the cross-worker critical path); ``obs-diff`` compares two runs'
+artifacts and exits non-zero on regressions beyond ``--threshold``.
 """
 
 from __future__ import annotations
@@ -86,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     obsopts.add_argument(
         "--log-json", action="store_true",
         help="emit structured JSON log records to stderr",
+    )
+    obsopts.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export the run's span trace (Chrome trace-event JSON; "
+        "*.jsonl for one event per line) — load in Perfetto or feed to "
+        "'repro profile'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -168,6 +185,44 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default text); json suppresses the live feed",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="aggregate a --trace-out trace: per-span self/cumulative time "
+        "and the cross-worker critical path",
+    )
+    profile.add_argument("trace", help="trace file (.json Chrome format or .jsonl)")
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows per table (default 15)",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+
+    obs_diff = sub.add_parser(
+        "obs-diff",
+        help="compare two runs' metrics and span profiles; exit non-zero "
+        "on regressions beyond the threshold",
+    )
+    obs_diff.add_argument(
+        "run_a", help="baseline run: directory with run.json, a run.json, "
+        "or a metrics textfile",
+    )
+    obs_diff.add_argument("run_b", help="candidate run (same forms)")
+    obs_diff.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="regression threshold in percent (default 25)",
+    )
+    obs_diff.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="delta rows to print (default 20)",
+    )
+    obs_diff.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
     )
     return parser
 
@@ -555,6 +610,202 @@ def cmd_watch(args) -> int:
     return 0 if equivalent in (None, True) else 1
 
 
+def cmd_profile(args) -> int:
+    """Aggregate an exported trace: self/cumulative time + critical path."""
+    from repro.obs.profile import profile_trace
+
+    try:
+        report = profile_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot profile {args.trace}: {error}", file=sys.stderr)
+        return 2
+    if not report.spans:
+        print(f"error: {args.trace} contains no closed spans", file=sys.stderr)
+        return 2
+
+    by_self = sorted(
+        report.names.values(), key=lambda p: (-p.self_us, p.name)
+    )[: args.top]
+    name_rows = [
+        (
+            profile.name,
+            profile.count,
+            f"{profile.self_us / 1e6:.4f}",
+            f"{profile.total_us / 1e6:.4f}",
+            f"{profile.max_us / 1e6:.4f}",
+            profile.errors,
+        )
+        for profile in by_self
+    ]
+    path_rows = [
+        (
+            segment.name,
+            segment.span.pid if segment.span is not None else "-",
+            f"{segment.start_us / 1e6 - report.start_us / 1e6:.4f}",
+            f"{segment.duration_us / 1e6:.4f}",
+        )
+        for segment in sorted(
+            report.path, key=lambda s: -s.duration_us
+        )[: args.top]
+    ]
+    if _wants_json(args):
+        _print_json(
+            {
+                "trace": args.trace,
+                "spans": len(report.spans),
+                "wall_seconds": round(report.wall_seconds, 6),
+                "critical_path_seconds": round(report.path_seconds, 6),
+                "names": [
+                    {
+                        "name": p.name,
+                        "count": p.count,
+                        "self_seconds": round(p.self_us / 1e6, 6),
+                        "cumulative_seconds": round(p.total_us / 1e6, 6),
+                        "max_seconds": round(p.max_us / 1e6, 6),
+                        "errors": p.errors,
+                    }
+                    for p in by_self
+                ],
+                "critical_path": [
+                    {
+                        "name": segment.name,
+                        "lane": segment.span.pid if segment.span is not None else None,
+                        "start_seconds": round(
+                            (segment.start_us - report.start_us) / 1e6, 6
+                        ),
+                        "seconds": round(segment.duration_us / 1e6, 6),
+                    }
+                    for segment in report.path
+                ],
+            }
+        )
+        return 0
+    print(render_table(
+        ["Span", "Count", "Self (s)", "Cumulative (s)", "Max (s)", "Errors"],
+        name_rows,
+        title=f"Span profile — {len(report.spans)} spans, "
+        f"{report.wall_seconds:.4f}s wall",
+    ))
+    print(render_table(
+        ["Critical path span", "Lane", "At (s)", "Seconds"],
+        path_rows,
+        title=f"Critical path — {len(report.path)} segments summing to "
+        f"{report.path_seconds:.4f}s",
+    ))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    """Compare two runs' metric families and span profiles."""
+    from repro.obs.diff import diff_runs, load_run
+
+    try:
+        run_a = load_run(args.run_a)
+        run_b = load_run(args.run_b)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diff = diff_runs(run_a, run_b, threshold_pct=args.threshold)
+    regressions = diff.regressions
+    if _wants_json(args):
+        _print_json(
+            {
+                "run_a": args.run_a,
+                "run_b": args.run_b,
+                "threshold_pct": args.threshold,
+                "compared": len(diff.deltas),
+                "added": diff.added,
+                "removed": diff.removed,
+                "regressions": [
+                    {
+                        "series": d.series,
+                        "kind": d.kind,
+                        "a": d.a,
+                        "b": d.b,
+                        "delta_pct": round(d.delta_pct, 2),
+                    }
+                    for d in regressions
+                ],
+            }
+        )
+    else:
+        print(render_table(
+            ["Series", "Kind", "A", "B", "Delta", "Verdict"],
+            diff.delta_rows(top=args.top),
+            title=f"Run diff — {args.run_a} vs {args.run_b} "
+            f"(threshold {args.threshold:g}%)",
+        ))
+        for series in diff.added:
+            print(f"  added in B:   {series}")
+        for series in diff.removed:
+            print(f"  removed in B: {series}")
+        verdict = (
+            f"{len(regressions)} regression(s) beyond {args.threshold:g}%"
+            if regressions
+            else f"no regressions beyond {args.threshold:g}% "
+            f"({len(diff.deltas)} series compared)"
+        )
+        print(verdict)
+    return 1 if regressions else 0
+
+
+def _write_run_artifacts(
+    args,
+    argv: List[str],
+    registry,
+    collector,
+    wall_seconds: float,
+    exit_status: str,
+    exit_code: Optional[int],
+) -> None:
+    """Write --metrics-out / --trace-out / run.json for one invocation.
+
+    Called from ``main``'s ``finally`` so a crashed or interrupted run
+    still emits its partial metrics, trace, and manifest.
+    """
+    import os
+
+    from repro.obs import names
+    from repro.obs.runmeta import (
+        RUN_MANIFEST_NAME,
+        build_run_manifest,
+        write_run_manifest,
+    )
+
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if collector is not None and trace_out:
+        registry.gauge(
+            names.TRACE_EVENTS_DROPPED, names.TRACE_EVENTS_DROPPED_HELP
+        ).set(collector.dropped)
+        collector.write(trace_out)
+        print(f"wrote trace to {trace_out}", file=sys.stderr)
+    if metrics_out:
+        registry.write_textfile(metrics_out)
+        print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        manifest_path = os.path.join(
+            os.path.dirname(os.path.abspath(metrics_out)), RUN_MANIFEST_NAME
+        )
+        write_run_manifest(
+            manifest_path,
+            build_run_manifest(
+                command=args.command,
+                argv=list(argv),
+                seed=getattr(args, "seed", None),
+                scale=getattr(args, "scale", None),
+                workers=getattr(args, "workers", None),
+                wall_seconds=wall_seconds,
+                exit_status=exit_status,
+                exit_code=exit_code,
+                metrics_path=metrics_out,
+                trace_path=trace_out,
+                trace_events=len(collector) if collector is not None else None,
+                trace_dropped=collector.dropped if collector is not None else None,
+            ),
+        )
+        print(f"wrote run manifest to {manifest_path}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -565,24 +816,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "advise": cmd_advise,
         "watch": cmd_watch,
+        "profile": cmd_profile,
+        "obs-diff": cmd_obs_diff,
     }
     import logging
+    from contextlib import ExitStack
+    from time import perf_counter
 
-    from repro.obs import configure_json_logging, remove_json_logging, use_registry
+    from repro.obs import (
+        TraceCollector,
+        configure_json_logging,
+        remove_json_logging,
+        span,
+        use_collector,
+        use_registry,
+    )
 
     log_handler = None
     if getattr(args, "log_json", False):
         log_handler = configure_json_logging(stream=sys.stderr, level=logging.DEBUG)
-    metrics_out = getattr(args, "metrics_out", None)
+    collector = TraceCollector() if getattr(args, "trace_out", None) else None
+    started = perf_counter()
+    code: Optional[int] = None
+    failed = False
     try:
-        # Each invocation records into a fresh registry so --metrics-out
-        # describes exactly this run (and parallel invocations in one
-        # process — e.g. tests — stay isolated).
-        with use_registry() as registry:
-            code = handlers[args.command](args)
-            if metrics_out:
-                registry.write_textfile(metrics_out)
-                print(f"wrote metrics to {metrics_out}", file=sys.stderr)
+        # Each invocation records into a fresh registry (and, with
+        # --trace-out, a fresh collector) so the run artifacts describe
+        # exactly this run; parallel invocations in one process — e.g.
+        # tests — stay isolated.
+        with ExitStack() as stack:
+            registry = stack.enter_context(use_registry())
+            if collector is not None:
+                stack.enter_context(use_collector(collector))
+            try:
+                with span("cli_command", command=args.command):
+                    code = handlers[args.command](args)
+            except BaseException:
+                failed = True
+                raise
+            finally:
+                # Artifacts are written even when the command crashed or
+                # was interrupted: a partial metrics/trace file beats none
+                # for a six-month collection run that died on day 170.
+                try:
+                    _write_run_artifacts(
+                        args,
+                        argv if argv is not None else sys.argv[1:],
+                        registry,
+                        collector,
+                        wall_seconds=perf_counter() - started,
+                        exit_status="error" if failed else "ok",
+                        exit_code=code,
+                    )
+                except Exception as artifact_error:
+                    print(
+                        f"warning: failed writing run artifacts: {artifact_error}",
+                        file=sys.stderr,
+                    )
+                    if not failed:
+                        raise
         return code
     finally:
         if log_handler is not None:

@@ -18,6 +18,17 @@ and :mod:`repro.parallel` (sharded detection): one process-wide
 ``repro detect/lifetime/report/watch --metrics-out FILE`` writes the
 registry as a Prometheus-style textfile; ``--log-json`` turns on the
 structured log feed (span timings, fetch progress) on stderr.
+
+Three sibling modules turn one run's telemetry into run *artifacts*:
+:mod:`repro.obs.traceout` collects span begin/end events into a bounded
+buffer and exports Chrome trace-event JSON (``--trace-out FILE``; shard
+workers snapshot their local buffers and merge onto deterministic pid
+lanes), :mod:`repro.obs.profile` aggregates a trace into per-span-name
+self/cumulative time and the cross-lane critical path
+(``repro profile TRACE``), and :mod:`repro.obs.diff` compares two runs'
+metric families and span profiles against a regression threshold
+(``repro obs-diff RUN_A RUN_B``). :mod:`repro.obs.runmeta` writes the
+``run.json`` manifest tying a run's artifacts together.
 """
 
 from repro.obs import names
@@ -41,6 +52,13 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.trace import Span, current_span, span
+from repro.obs.traceout import (
+    TraceCollector,
+    get_collector,
+    load_trace,
+    set_default_collector,
+    use_collector,
+)
 
 __all__ = [
     "Counter",
@@ -51,15 +69,20 @@ __all__ = [
     "JsonLogHandler",
     "MetricsRegistry",
     "Span",
+    "TraceCollector",
     "configure_json_logging",
     "current_span",
+    "get_collector",
     "get_logger",
     "get_registry",
+    "load_trace",
     "log",
     "names",
     "parse_text",
     "remove_json_logging",
+    "set_default_collector",
     "set_default_registry",
     "span",
+    "use_collector",
     "use_registry",
 ]

@@ -311,7 +311,10 @@ class MetricsRegistry:
             for family in self.families():
                 if not family.samples:
                     continue
-                lines.append(f"# HELP {family.name} {family.help}")
+                # HELP text is one line by format; escape like Prometheus
+                # clients do so backslashes/newlines survive a round trip.
+                escaped_help = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {family.name} {escaped_help}")
                 lines.append(f"# TYPE {family.name} {family.kind}")
                 for key in sorted(family.samples):
                     value = family.samples[key]

@@ -54,7 +54,15 @@ SWEEP_SCANS_HELP = "Active intervals scanned by interval_sweep_join."
 SWEEP_PAIRS = "repro_interval_sweep_pairs_total"
 SWEEP_PAIRS_HELP = "(event, interval) pairs emitted by interval_sweep_join."
 
-# -- tracing (repro.obs.trace) -----------------------------------------------
+# -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"
 SPAN_SECONDS_HELP = "Wall time of traced spans, by span name."
+
+SPAN_EXCEPTIONS = "repro_span_exceptions_total"
+SPAN_EXCEPTIONS_HELP = "Traced blocks that exited by raising, by span name."
+
+TRACE_EVENTS_DROPPED = "repro_trace_events_dropped"
+TRACE_EVENTS_DROPPED_HELP = (
+    "Trace events discarded because the collector buffer was full."
+)

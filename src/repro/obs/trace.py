@@ -5,7 +5,17 @@ wall time into the shared registry's ``repro_span_seconds`` histogram
 (labelled by span name only — attributes stay out of metric labels so
 high-cardinality values like days never explode a time series), and emits
 a DEBUG-level structured log record carrying the attributes, duration,
-nesting depth, and parent span name.
+nesting depth, parent span name, and exit status.
+
+Spans are failure-aware: a block that raises is recorded with
+``status="error"`` (on the log record and the trace event) and bumps the
+``repro_span_exceptions_total`` counter by span name — the exception
+itself always propagates untouched.
+
+When a :class:`~repro.obs.traceout.TraceCollector` is active (see
+:func:`~repro.obs.traceout.use_collector`), every span additionally
+records a begin and an end trace event, exportable as a Chrome trace.
+With no collector active, the trace path costs a single ``None`` check.
 
 Spans nest per thread; :func:`current_span` exposes the innermost open
 span so deeply nested code can attach context without threading a handle
@@ -24,19 +34,21 @@ from typing import Any, Dict, Iterator, List, Optional
 from repro.obs import names
 from repro.obs.log import log
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.traceout import get_collector
 
 _STACK = threading.local()
 
 
 @dataclass
 class Span:
-    """One traced block; ``seconds`` is filled when the block exits."""
+    """One traced block; ``seconds`` and ``status`` are filled on exit."""
 
     name: str
     attrs: Dict[str, Any] = field(default_factory=dict)
     depth: int = 0
     parent: Optional[str] = None
     seconds: Optional[float] = None
+    status: str = "ok"
 
 
 def _spans() -> List[Span]:
@@ -59,7 +71,7 @@ def span(
     registry: Optional[MetricsRegistry] = None,
     **attrs: Any,
 ) -> Iterator[Span]:
-    """Time a block; record a histogram sample and a DEBUG log record."""
+    """Time a block; record a histogram sample, trace events, and a log."""
     stack = _spans()
     current = Span(
         name=name,
@@ -68,15 +80,30 @@ def span(
         parent=stack[-1].name if stack else None,
     )
     stack.append(current)
+    # Captured once so begin/end land in the same collector even if the
+    # active scope changes inside the block.
+    collector = get_collector()
+    if collector is not None:
+        collector.record_begin(name, current.attrs or None)
     started = perf_counter()
     try:
         yield current
+    except BaseException:
+        current.status = "error"
+        raise
     finally:
         current.seconds = perf_counter() - started
         stack.pop()
-        (registry or get_registry()).histogram(
+        if collector is not None:
+            collector.record_end(name, status=current.status)
+        active_registry = registry or get_registry()
+        active_registry.histogram(
             names.SPAN_SECONDS, names.SPAN_SECONDS_HELP, labels=("name",)
         ).observe(current.seconds, name=name)
+        if current.status == "error":
+            active_registry.counter(
+                names.SPAN_EXCEPTIONS, names.SPAN_EXCEPTIONS_HELP, labels=("name",)
+            ).inc(name=name)
         log(
             "span",
             level=logging.DEBUG,
@@ -84,5 +111,6 @@ def span(
             seconds=round(current.seconds, 6),
             depth=current.depth,
             parent=current.parent,
+            status=current.status,
             **current.attrs,
         )

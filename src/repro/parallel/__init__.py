@@ -11,7 +11,10 @@ batch run. Per-shard sizes and timings are reported as
 :class:`~repro.parallel.stats.ShardStats` on the result, and each shard's
 :mod:`repro.obs` registry snapshot is merged (order-independently, via
 :func:`merge_shard_metrics`) into the process-wide registry so sharded
-runs expose the same metric series as serial runs.
+runs expose the same metric series as serial runs. When the parent has an
+active :class:`~repro.obs.TraceCollector` (``--trace-out``), each shard
+also snapshots its span trace, merged onto deterministic pid lanes by
+:func:`merge_shard_traces` so one exported timeline shows every worker.
 """
 
 from repro.parallel.executor import (
@@ -25,6 +28,7 @@ from repro.parallel.pipeline import (
     ParallelMeasurementPipeline,
     canonical_order_key,
     merge_shard_metrics,
+    merge_shard_traces,
 )
 from repro.parallel.sharding import (
     BundleShard,
@@ -40,6 +44,7 @@ __all__ = [
     "ParallelMeasurementPipeline",
     "canonical_order_key",
     "merge_shard_metrics",
+    "merge_shard_traces",
     "partition_bundle",
     "ShardPlan",
     "BundleShard",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
@@ -35,7 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.detectors.key_compromise import RevocationJoinStats
 from repro.core.pipeline import DETECTOR_REGISTRY, PipelineConfig, run_detector
 from repro.core.stale import StaleCertificate, StaleFindings
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import MetricsRegistry, TraceCollector, span, use_collector, use_registry
 from repro.parallel.sharding import BundleShard, ShardPlan
 from repro.util.dates import Day
 
@@ -49,6 +50,11 @@ class WorkerConfig:
     #: Detector keys to run — decided from the ORIGINAL bundle (dataset
     #: presence), identically for every shard.
     enabled: Tuple[str, ...] = ()
+    #: Whether shard workers record their spans into a local
+    #: :class:`~repro.obs.TraceCollector`, snapshotted into
+    #: ``ShardOutcome.trace`` — set when the parent has an active
+    #: collector (``--trace-out``), so one timeline shows every worker.
+    collect_trace: bool = False
 
 
 @dataclass
@@ -65,6 +71,10 @@ class ShardOutcome:
     #: finding counters, and anything instrumented code recorded while
     #: running inside the shard. Merged deterministically in the parent.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Snapshot (:meth:`~repro.obs.TraceCollector.snapshot`) of the
+    #: shard-local trace buffer; empty unless ``collect_trace`` was set.
+    #: The parent merges it onto pid lane ``index + 1``.
+    trace: Dict[str, object] = field(default_factory=dict)
 
 
 def run_shard(shard: BundleShard, config: WorkerConfig) -> ShardOutcome:
@@ -82,19 +92,38 @@ def run_shard(shard: BundleShard, config: WorkerConfig) -> ShardOutcome:
         whois_tlds=config.whois_tlds,
     )
     registry = MetricsRegistry()
+    collector = TraceCollector() if config.collect_trace else None
     with use_registry(registry):
-        for spec in DETECTOR_REGISTRY:
-            if spec.key not in config.enabled:
-                continue
-            view = shard.bundle_view(spec.key)
-            detector, elapsed = run_detector(spec, view, pipeline_config, findings)
-            outcome.detector_seconds[spec.key] = elapsed
-            if spec.key == "key_compromise":
-                outcome.revocation_stats = detector.stats
+        with _maybe_collect(collector):
+            with span("shard_run", shard=shard.index):
+                for spec in DETECTOR_REGISTRY:
+                    if spec.key not in config.enabled:
+                        continue
+                    view = shard.bundle_view(spec.key)
+                    detector, elapsed = run_detector(
+                        spec, view, pipeline_config, findings
+                    )
+                    outcome.detector_seconds[spec.key] = elapsed
+                    if spec.key == "key_compromise":
+                        outcome.revocation_stats = detector.stats
     outcome.findings = list(findings.all_findings())
     outcome.metrics = registry.to_record()
+    if collector is not None:
+        outcome.trace = collector.snapshot()
     outcome.seconds = perf_counter() - started
     return outcome
+
+
+@contextmanager
+def _maybe_collect(collector: Optional[TraceCollector]):
+    """Scope the shard's collector when tracing; otherwise leave whatever
+    collector (usually none) the calling thread already has — the serial
+    executor must not capture spans away from a parent's buffer."""
+    if collector is None:
+        yield None
+    else:
+        with use_collector(collector):
+            yield collector
 
 
 class SerialExecutor:

@@ -18,11 +18,17 @@ shard, and the merge below is deterministic:
   in shard-index order — counters add, histograms add bucketwise, gauges
   take the max, so the merge is order-independent in value — folded into
   the process-wide :func:`~repro.obs.get_registry`, and attached to
-  :class:`~repro.parallel.stats.ShardStats` for the JSON output.
+  :class:`~repro.parallel.stats.ShardStats` for the JSON output;
+* per-shard trace snapshots (``ShardOutcome.trace``, recorded when the
+  parent has an active :class:`~repro.obs.TraceCollector`) are merged
+  onto deterministic pid lanes — shard ``i`` is lane ``i + 1`` — so a
+  single exported Chrome trace shows every worker's spans on one
+  timeline (:func:`merge_shard_traces`).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
@@ -33,7 +39,7 @@ from repro.core.pipeline import (
     merge_revocation_stats,
 )
 from repro.core.stale import StaleCertificate, StaleFindings
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, TraceCollector, get_collector, get_registry, span
 from repro.parallel.executor import (
     ProcessPoolShardExecutor,
     SerialExecutor,
@@ -57,6 +63,26 @@ def merge_shard_metrics(outcomes: Sequence[ShardOutcome]) -> MetricsRegistry:
     for outcome in outcomes:
         if outcome.metrics:
             merged.merge(MetricsRegistry.from_record(outcome.metrics))
+    return merged
+
+
+def merge_shard_traces(
+    outcomes: Sequence[ShardOutcome], collector: Optional[TraceCollector]
+) -> int:
+    """Fold per-shard trace snapshots onto deterministic pid lanes.
+
+    Shard ``i`` becomes lane ``i + 1`` (lane 0 is the coordinating
+    process), so the merged timeline is stable run-over-run even though
+    worker OS pids are not. Returns the number of events merged; a
+    ``None`` collector (tracing off) is a no-op.
+    """
+    if collector is None:
+        return 0
+    merged = 0
+    for outcome in outcomes:  # shard-index order
+        if outcome.trace:
+            collector.extend(outcome.trace, lane=outcome.index + 1)
+            merged += len(outcome.trace.get("events", []))
     return merged
 
 
@@ -104,8 +130,16 @@ class ParallelMeasurementPipeline:
         self._executor = executor
 
     def run(self) -> PipelineResult:
+        # Bind trace collection at run time: shard workers record local
+        # trace buffers exactly when the parent has an active collector.
+        config = self._config
+        parent_collector = get_collector()
+        if parent_collector is not None and not config.collect_trace:
+            config = replace(config, collect_trace=True)
+
         partition_started = perf_counter()
-        plan = partition_bundle(self._bundle, self._num_shards)
+        with span("shard_partition", shards=self._num_shards):
+            plan = partition_bundle(self._bundle, self._num_shards)
         partition_seconds = perf_counter() - partition_started
 
         executor = self._executor
@@ -116,23 +150,30 @@ class ParallelMeasurementPipeline:
                 else ProcessPoolShardExecutor(self._workers)
             )
         execute_started = perf_counter()
-        outcomes = executor.run(plan, self._config)
+        with span("shard_execute", workers=self._workers, shards=plan.num_shards):
+            outcomes = executor.run(plan, config)
         execute_seconds = perf_counter() - execute_started
 
         merge_started = perf_counter()
-        merged: List[StaleCertificate] = []
-        for outcome in outcomes:  # shard-index order
-            merged.extend(outcome.findings)
-        merged.sort(key=canonical_order_key)
-        findings = StaleFindings()
-        findings.extend(merged)
-        revocation_stats = None
-        if "key_compromise" in self._config.enabled:
-            revocation_stats = merge_revocation_stats(
-                [o.revocation_stats for o in outcomes if o.revocation_stats is not None]
-            )
-        merged_metrics = merge_shard_metrics(outcomes)
-        get_registry().merge(merged_metrics)
+        with span("shard_merge"):
+            merged: List[StaleCertificate] = []
+            for outcome in outcomes:  # shard-index order
+                merged.extend(outcome.findings)
+            merged.sort(key=canonical_order_key)
+            findings = StaleFindings()
+            findings.extend(merged)
+            revocation_stats = None
+            if "key_compromise" in config.enabled:
+                revocation_stats = merge_revocation_stats(
+                    [
+                        o.revocation_stats
+                        for o in outcomes
+                        if o.revocation_stats is not None
+                    ]
+                )
+            merged_metrics = merge_shard_metrics(outcomes)
+            get_registry().merge(merged_metrics)
+            merge_shard_traces(outcomes, parent_collector)
         merge_seconds = perf_counter() - merge_started
 
         return PipelineResult(
@@ -181,6 +222,9 @@ class ParallelMeasurementPipeline:
                     findings=len(outcome.findings),
                     seconds=outcome.seconds,
                     detector_seconds=dict(outcome.detector_seconds),
+                    trace_events=len(outcome.trace.get("events", []))
+                    if outcome.trace
+                    else 0,
                 )
             )
         return stats

@@ -33,6 +33,8 @@ class ShardRecord:
     seconds: float = 0.0
     #: Detector key (as in ``DETECTOR_REGISTRY``) -> seconds spent.
     detector_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Trace events this shard recorded (0 when tracing was off).
+    trace_events: int = 0
 
     def to_record(self) -> Dict[str, object]:
         return {
@@ -45,6 +47,7 @@ class ShardRecord:
             "findings": self.findings,
             "seconds": self.seconds,
             "detector_seconds": dict(self.detector_seconds),
+            "trace_events": self.trace_events,
         }
 
     @classmethod
@@ -62,6 +65,7 @@ class ShardRecord:
                 str(key): float(value)
                 for key, value in dict(record.get("detector_seconds", {})).items()
             },
+            trace_events=int(record.get("trace_events", 0)),
         )
 
 

@@ -40,6 +40,7 @@ from repro.stream.events import (
     StaleFindingEmitted,
     WhoisCreationObserved,
 )
+from repro.obs import span
 from repro.stream.metrics import StreamStats
 from repro.util.dates import Day
 
@@ -266,37 +267,42 @@ class StreamEngine:
         if resume and self._store is not None:
             self._restore()
 
-        events = build_event_stream(self._bundle)
-        days_this_run = 0
-        since_checkpoint = 0
-        exhausted = True
-        for day, day_events in groupby(events, key=lambda event: event.day):
-            if self._cursor is not None and day <= self._cursor:
-                continue  # already processed before the kill
-            if through_day is not None and day > through_day:
-                exhausted = False
-                break
-            if max_days is not None and days_this_run >= max_days:
-                exhausted = False
-                break
-            self._current_day = day
-            self.bus.publish_all(day_events)
-            self.bus.drain()
-            self.stats.record_day(day)
-            self._cursor = day
-            days_this_run += 1
-            since_checkpoint += 1
-            if self._store is not None and since_checkpoint >= self._checkpoint_every:
-                self._checkpoint()
-                since_checkpoint = 0
+        with span("stream_replay"):
+            events = build_event_stream(self._bundle)
+            days_this_run = 0
+            since_checkpoint = 0
+            exhausted = True
+            for day, day_events in groupby(events, key=lambda event: event.day):
+                if self._cursor is not None and day <= self._cursor:
+                    continue  # already processed before the kill
+                if through_day is not None and day > through_day:
+                    exhausted = False
+                    break
+                if max_days is not None and days_this_run >= max_days:
+                    exhausted = False
+                    break
+                self._current_day = day
+                self.bus.publish_all(day_events)
+                self.bus.drain()
+                self.stats.record_day(day)
+                self._cursor = day
+                days_this_run += 1
+                since_checkpoint += 1
+                if (
+                    self._store is not None
+                    and since_checkpoint >= self._checkpoint_every
+                ):
+                    self._checkpoint()
+                    since_checkpoint = 0
 
-        if exhausted and not self._finalized:
-            for detector in self._detectors:
-                self._emit(detector.finalize())
-            self.bus.drain()
-            self._finalized = True
-        if self._store is not None:
-            self._checkpoint()
+            if exhausted and not self._finalized:
+                with span("stream_finalize"):
+                    for detector in self._detectors:
+                        self._emit(detector.finalize())
+                    self.bus.drain()
+                self._finalized = True
+            if self._store is not None:
+                self._checkpoint()
 
         return StreamResult(
             findings=self._materialize(),
@@ -316,6 +322,10 @@ class StreamEngine:
     # -- checkpointing -------------------------------------------------------
 
     def _checkpoint(self) -> None:
+        with span("stream_checkpoint", day=self._cursor):
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
         state = {
             "bundle_fingerprint": self._fingerprint,
             "cursor_day": self._cursor,

@@ -43,15 +43,32 @@ class TestParser:
 
     @pytest.mark.parametrize("command", ["detect", "lifetime", "report", "watch"])
     def test_observability_flags_accepted(self, command):
-        args = build_parser().parse_args([command, "--metrics-out", "m.prom", "--log-json"])
+        args = build_parser().parse_args(
+            [command, "--metrics-out", "m.prom", "--log-json",
+             "--trace-out", "t.json"]
+        )
         assert args.metrics_out == "m.prom"
         assert args.log_json is True
+        assert args.trace_out == "t.json"
 
     @pytest.mark.parametrize("command", ["detect", "lifetime", "report", "watch"])
     def test_observability_flags_default_off(self, command):
         args = build_parser().parse_args([command])
         assert args.metrics_out is None
         assert args.log_json is False
+        assert args.trace_out is None
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "trace.json"])
+        assert args.trace == "trace.json"
+        assert args.top == 15
+        assert args.format == "text"
+
+    def test_obs_diff_defaults(self):
+        args = build_parser().parse_args(["obs-diff", "a", "b"])
+        assert args.run_a == "a"
+        assert args.run_b == "b"
+        assert args.threshold == 25.0
 
 
 class TestCommands:
@@ -242,6 +259,189 @@ class TestWatch:
         assert payload["table4"]
         assert sum(payload["stats"]["events_by_type"].values()) > 0
 
+class TestRunArtifacts:
+    def test_trace_out_writes_loadable_trace_and_manifest(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert main(ARGS + ["detect", "--trace-out", trace_path,
+                            "--metrics-out", metrics_path]) == 0
+        err = capsys.readouterr().err
+        assert "wrote trace to" in err
+        assert "wrote run manifest to" in err
+
+        from repro.obs import load_trace
+        from repro.obs.runmeta import load_run_manifest, resolve_artifact
+
+        events = load_trace(trace_path)
+        span_names = {e["name"] for e in events if e["ph"] in ("B", "E")}
+        assert "cli_command" in span_names
+        assert "detector" in span_names
+
+        manifest = load_run_manifest(str(tmp_path / "run.json"))
+        assert manifest["schema"] == 1
+        assert manifest["command"] == "detect"
+        assert manifest["seed"] == 7
+        assert manifest["scale"] == 0.02
+        assert manifest["exit_status"] == "ok"
+        assert manifest["exit_code"] == 0
+        assert manifest["wall_seconds"] > 0
+        assert manifest["trace_events"] > 0
+        assert manifest["argv"] == ARGS + [
+            "detect", "--trace-out", trace_path, "--metrics-out", metrics_path
+        ]
+        if manifest["peak_rss_bytes"] is not None:
+            assert manifest["peak_rss_bytes"] > 0
+        assert resolve_artifact(manifest, "metrics_path") == metrics_path
+        assert resolve_artifact(manifest, "trace_path") == trace_path
+
+    def test_workers_trace_contains_all_shard_lanes(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        assert main(ARGS + ["detect", "--workers", "2",
+                            "--trace-out", trace_path]) == 0
+        from repro.obs import load_trace
+
+        events = [e for e in load_trace(trace_path) if e["ph"] in ("B", "E")]
+        assert {e["pid"] for e in events} == {0, 1, 2}
+        detector_lanes = {e["pid"] for e in events if e["name"] == "detector"}
+        assert detector_lanes == {1, 2}
+
+    def test_crashed_run_still_writes_metrics(self, tmp_path, capsys, monkeypatch):
+        # Satellite regression test: artifacts are written from a finally,
+        # so a command that blows up mid-run still leaves partial metrics,
+        # the trace, and a manifest recording the failure.
+        import repro.cli as cli_module
+
+        def explode(result):
+            raise RuntimeError("simulated mid-run crash")
+
+        monkeypatch.setattr(cli_module, "build_table4", explode)
+        metrics_path = str(tmp_path / "metrics.prom")
+        trace_path = str(tmp_path / "trace.jsonl")
+        with pytest.raises(RuntimeError, match="simulated mid-run crash"):
+            main(ARGS + ["detect", "--metrics-out", metrics_path,
+                         "--trace-out", trace_path])
+        err = capsys.readouterr().err
+        assert "wrote metrics to" in err
+
+        from repro.obs import load_trace, parse_text
+        from repro.obs.runmeta import load_run_manifest
+
+        with open(metrics_path, encoding="utf-8") as handle:
+            samples = parse_text(handle.read())
+        # The pipeline ran before the crash, so real series are present...
+        assert any(s.startswith("repro_findings_total") for s in samples)
+        # ...and the raising span was counted.
+        assert samples['repro_span_exceptions_total{name="cli_command"}'] == 1
+        manifest = load_run_manifest(str(tmp_path / "run.json"))
+        assert manifest["exit_status"] == "error"
+        assert manifest["exit_code"] is None
+        ends = {
+            e["name"]: e["args"]["status"]
+            for e in load_trace(trace_path)
+            if e["ph"] == "E"
+        }
+        assert ends["cli_command"] == "error"
+
+
+class TestProfileCommand:
+    def _traced_run(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        assert main(ARGS + ["detect", "--trace-out", trace_path]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_profile_text_output(self, tmp_path, capsys):
+        trace_path = self._traced_run(tmp_path, capsys)
+        assert main(["profile", trace_path, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        assert "Critical path" in out
+        assert "cli_command" in out
+
+    def test_profile_critical_path_sums_to_wall_time(self, tmp_path, capsys):
+        trace_path = self._traced_run(tmp_path, capsys)
+        assert main(["profile", trace_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] > 0
+        assert payload["wall_seconds"] > 0
+        assert payload["critical_path_seconds"] == pytest.approx(
+            payload["wall_seconds"], rel=1e-3
+        )
+        by_name = {entry["name"]: entry for entry in payload["names"]}
+        assert by_name["cli_command"]["count"] == 1
+        # Self time never exceeds cumulative time.
+        for entry in payload["names"]:
+            assert entry["self_seconds"] <= entry["cumulative_seconds"] + 1e-9
+
+    def test_profile_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "missing.json")]) == 2
+        assert "cannot profile" in capsys.readouterr().err
+
+    def test_profile_empty_trace_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}', encoding="utf-8")
+        assert main(["profile", str(path)]) == 2
+        assert "no closed spans" in capsys.readouterr().err
+
+
+class TestObsDiffCommand:
+    def _metrics_file(self, path, samples):
+        lines = [f"{series} {value}" for series, value in samples.items()]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_self_compare_is_clean_and_exits_zero(self, tmp_path, capsys):
+        path = self._metrics_file(
+            tmp_path / "m.prom", {"x_total": 5, "y_seconds_sum": 1.5}
+        )
+        assert main(["obs-diff", path, path]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "2 series compared" in out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        a = self._metrics_file(tmp_path / "a.prom", {"x_seconds_sum": 1.0})
+        b = self._metrics_file(tmp_path / "b.prom", {"x_seconds_sum": 3.0})
+        assert main(["obs-diff", a, b, "--threshold", "50"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "1 regression(s) beyond 50%" in out
+
+    def test_threshold_loosens_the_gate(self, tmp_path, capsys):
+        a = self._metrics_file(tmp_path / "a.prom", {"x_seconds_sum": 1.0})
+        b = self._metrics_file(tmp_path / "b.prom", {"x_seconds_sum": 3.0})
+        assert main(["obs-diff", a, b, "--threshold", "500"]) == 0
+
+    def test_missing_run_is_usage_error(self, tmp_path, capsys):
+        a = self._metrics_file(tmp_path / "a.prom", {"x_total": 1})
+        assert main(["obs-diff", a, str(tmp_path / "nope.prom")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_output_lists_regressions(self, tmp_path, capsys):
+        a = self._metrics_file(tmp_path / "a.prom", {"c_total": 10})
+        b = self._metrics_file(tmp_path / "b.prom", {"c_total": 100})
+        assert main(["obs-diff", a, b, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (regression,) = payload["regressions"]
+        assert regression["series"] == "c_total"
+        assert regression["delta_pct"] == 900.0
+
+    def test_cli_runs_diff_against_their_manifests(self, tmp_path, capsys):
+        # Two real runs of the same workload: wall times differ slightly
+        # but nothing should regress at a sane threshold.
+        for name in ("run_a", "run_b"):
+            out_dir = tmp_path / name
+            assert main(ARGS + ["detect",
+                                "--metrics-out", str(out_dir / "metrics.prom")]) == 0
+        capsys.readouterr()
+        code = main(["obs-diff", str(tmp_path / "run_a"), str(tmp_path / "run_b"),
+                     "--threshold", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run_wall_seconds" in out or "no regressions" in out
+
+
+class TestWatchCorruptCheckpoint:
     def test_watch_resume_corrupt_checkpoint_clean_error(self, tmp_path, capsys):
         # Regression: a truncated checkpoint used to surface as a raw
         # EOFError/BadGzipFile traceback instead of a usage error.

@@ -222,6 +222,54 @@ class TestRenderText:
         assert not (tmp_path / "sub" / "metrics.prom.tmp").exists()
 
 
+class TestExpositionRoundTrip:
+    """render_text -> parse_text must survive the format's edge cases —
+    obs-diff compares parsed textfiles, so a lossy round trip would
+    silently corrupt the regression gate."""
+
+    def _round_trip(self, registry, tmp_path):
+        path = registry.write_textfile(str(tmp_path / "metrics.prom"))
+        with open(path, encoding="utf-8") as handle:
+            return parse_text(handle.read())
+
+    def test_histogram_inf_bucket_parses_as_infinity(self, tmp_path):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)  # lands only in the +Inf bucket
+        samples = self._round_trip(registry, tmp_path)
+        assert samples['lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['lat_seconds_bucket{le="1"}'] == 1
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 2
+        assert samples["lat_seconds_count"] == 2
+
+    def test_help_with_backslashes_and_newlines_stays_one_line(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky_total", 'Escapes: back\\slash and\nnewline "quoted".'
+        ).inc(3)
+        text = registry.render_text()
+        (help_line,) = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert help_line == (
+            '# HELP tricky_total Escapes: back\\\\slash and\\nnewline "quoted".'
+        )
+        samples = self._round_trip(registry, tmp_path)
+        assert samples == {"tricky_total": 3.0}
+
+    def test_empty_registry_round_trips_to_no_samples(self, tmp_path):
+        samples = self._round_trip(MetricsRegistry(), tmp_path)
+        assert samples == {}
+
+    def test_parse_ignores_comments_and_blank_lines(self):
+        text = "# HELP x_total Something.\n# TYPE x_total counter\n\nx_total 4\n"
+        assert parse_text(text) == {"x_total": 4.0}
+
+    def test_inf_sample_value_round_trips(self):
+        assert parse_text("edge +Inf\n") == {"edge": float("inf")}
+
+
 class TestUseRegistry:
     def test_scopes_get_registry(self):
         default = get_registry()

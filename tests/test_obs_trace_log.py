@@ -4,6 +4,8 @@ import io
 import json
 import logging
 
+import pytest
+
 from repro.obs import (
     configure_json_logging,
     current_span,
@@ -11,6 +13,7 @@ from repro.obs import (
     names,
     remove_json_logging,
     span,
+    use_collector,
     use_registry,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -68,6 +71,67 @@ class TestSpan:
             pass
         family = next(iter(registry.families()))
         assert family.label_names == ("name",)
+
+
+class TestSpanStatus:
+    def test_status_ok_by_default(self):
+        with span("fine") as traced:
+            pass
+        assert traced.status == "ok"
+
+    def test_status_error_on_raise_and_exception_propagates(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="boom"):
+            with span("failing", registry=registry) as traced:
+                raise ValueError("boom")
+        assert traced.status == "error"
+
+    def test_exception_counter_bumped_per_name(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("fallible", registry=registry):
+                raise RuntimeError("x")
+        counter = registry.counter(
+            names.SPAN_EXCEPTIONS, labels=("name",)
+        )
+        assert counter.value(name="fallible") == 1
+
+    def test_exception_counter_absent_for_clean_spans(self):
+        registry = MetricsRegistry()
+        with span("clean", registry=registry):
+            pass
+        family_names = {f.name for f in registry.families()}
+        assert names.SPAN_EXCEPTIONS not in family_names
+
+    def test_status_recorded_on_trace_end_event(self):
+        registry = MetricsRegistry()
+        with use_collector() as collector:
+            with span("traced_ok", registry=registry):
+                pass
+            with pytest.raises(RuntimeError):
+                with span("traced_bad", registry=registry):
+                    raise RuntimeError("x")
+        ends = {
+            e["name"]: e["args"]["status"]
+            for e in collector.events()
+            if e["ph"] == "E"
+        }
+        assert ends == {"traced_ok": "ok", "traced_bad": "error"}
+
+    def test_status_included_in_span_log_record(self):
+        registry = MetricsRegistry()
+        stream = io.StringIO()
+        handler = configure_json_logging(stream=stream, level=logging.DEBUG)
+        try:
+            with pytest.raises(RuntimeError):
+                with span("logged_failure", registry=registry):
+                    raise RuntimeError("x")
+        finally:
+            remove_json_logging(handler)
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        (record,) = [r for r in records if r.get("event") == "span"]
+        assert record["name"] == "logged_failure"
+        assert record["status"] == "error"
 
 
 class TestJsonLogBridge:

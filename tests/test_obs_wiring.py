@@ -13,10 +13,17 @@ import pytest
 from repro.cli import main
 from repro.core.pipeline import MeasurementPipeline, DETECTOR_REGISTRY
 from repro.core.stale import StalenessClass
-from repro.obs import MetricsRegistry, names, parse_text, use_registry
+from repro.obs import (
+    MetricsRegistry,
+    TraceCollector,
+    names,
+    parse_text,
+    use_collector,
+    use_registry,
+)
 from repro.parallel import ParallelMeasurementPipeline
 from repro.parallel.executor import SerialExecutor, WorkerConfig
-from repro.parallel.pipeline import merge_shard_metrics
+from repro.parallel.pipeline import merge_shard_metrics, merge_shard_traces
 from repro.parallel.sharding import partition_bundle
 from repro.stream import CheckpointStore, StreamEngine
 
@@ -132,6 +139,59 @@ class TestParallelWiring:
                 reference = (counters, counts)
             else:
                 assert (counters, counts) == reference
+
+
+class TestParallelTraceWiring:
+    def test_parallel_run_merges_shard_trace_lanes(self, small_bundle, cutoff):
+        num_shards = 3
+        with use_collector() as collector:
+            result = ParallelMeasurementPipeline(
+                small_bundle,
+                workers=1,
+                num_shards=num_shards,
+                revocation_cutoff_day=cutoff,
+            ).run()
+        events = collector.events()
+        lanes = {event["pid"] for event in events}
+        assert lanes == set(range(num_shards + 1))
+        # Parent lane carries the coordination spans, worker lanes the work.
+        parent_names = {e["name"] for e in events if e["pid"] == 0}
+        assert {"shard_partition", "shard_execute", "shard_merge"} <= parent_names
+        for lane in range(1, num_shards + 1):
+            lane_names = {e["name"] for e in events if e["pid"] == lane}
+            assert "shard_run" in lane_names
+            assert "detector" in lane_names
+        # Shard stats report what each worker contributed.
+        for shard in result.shard_stats.shards:
+            assert shard.trace_events > 0
+
+    def test_no_collector_leaves_run_traceless(self, small_bundle, cutoff):
+        result = ParallelMeasurementPipeline(
+            small_bundle, workers=1, num_shards=2, revocation_cutoff_day=cutoff
+        ).run()
+        assert all(s.trace_events == 0 for s in result.shard_stats.shards)
+
+    def test_merge_shard_traces_assigns_deterministic_lanes(
+        self, small_bundle, cutoff
+    ):
+        plan = partition_bundle(small_bundle, 2)
+        config = WorkerConfig(
+            revocation_cutoff_day=cutoff,
+            enabled=tuple(
+                spec.key for spec in DETECTOR_REGISTRY if spec.applies(small_bundle)
+            ),
+            collect_trace=True,
+        )
+        outcomes = SerialExecutor().run(plan, config)
+        assert all(outcome.trace.get("events") for outcome in outcomes)
+        collector = TraceCollector()
+        merge_shard_traces(outcomes, collector)
+        merged_lanes = {event["pid"] for event in collector.events()}
+        assert merged_lanes == {outcome.index + 1 for outcome in outcomes}
+        # Merging the reversed order lands events on the same lanes.
+        again = TraceCollector()
+        merge_shard_traces(list(reversed(outcomes)), again)
+        assert {e["pid"] for e in again.events()} == merged_lanes
 
 
 class TestStreamWiring:
