@@ -13,6 +13,7 @@ Drives the full reproduction from a shell::
     python -m repro detect    --scale 0.1 --workers 4 --trace-out trace.json
     python -m repro profile   trace.json --top 10
     python -m repro obs-diff  benchmarks/baselines/detect-scale002 run/
+    python -m repro lint      src tests --format json
 
 Every command simulates (or reuses, within one invocation) a seeded world,
 so results are reproducible given ``--seed``/``--scale``.
@@ -32,6 +33,11 @@ crashed or interrupted run still emits its partial telemetry.
 ``profile`` aggregates an exported trace (per-span self/cumulative time
 and the cross-worker critical path); ``obs-diff`` compares two runs'
 artifacts and exits non-zero on regressions beyond ``--threshold``.
+
+``lint`` runs the project's own AST static analysis (:mod:`repro.lint`)
+over the given paths (default ``src tests``) and exits non-zero on new
+findings — see ``docs/LINTS.md`` for the rule catalogue, inline
+suppressions, the baseline, and ``--fix``.
 """
 
 from __future__ import annotations
@@ -223,6 +229,38 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default text)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism / fork-safety / obs / protocol "
+        "invariants (AST-based, dependency-free); exit 1 on new findings",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+        "(default: lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (sorted() wraps, bare-except rewrites) "
+        "before reporting",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule code with its rationale and exit",
     )
     return parser
 
@@ -610,6 +648,13 @@ def cmd_watch(args) -> int:
     return 0 if equivalent in (None, True) else 1
 
 
+def cmd_lint(args) -> int:
+    """Static invariant checks (see repro.lint and docs/LINTS.md)."""
+    from repro.lint.runner import run_cli
+
+    return run_cli(args)
+
+
 def cmd_profile(args) -> int:
     """Aggregate an exported trace: self/cumulative time + critical path."""
     from repro.obs.profile import profile_trace
@@ -818,6 +863,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "watch": cmd_watch,
         "profile": cmd_profile,
         "obs-diff": cmd_obs_diff,
+        "lint": cmd_lint,
     }
     import logging
     from contextlib import ExitStack

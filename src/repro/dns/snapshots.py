@@ -118,7 +118,7 @@ def diff_days(before: DailySnapshot, after: DailySnapshot) -> Iterator[SnapshotD
             continue
         removed: Dict[str, FrozenSet[str]] = {}
         added: Dict[str, FrozenSet[str]] = {}
-        for key in set(obs_before.rdatas) | set(obs_after.rdatas):
+        for key in sorted(set(obs_before.rdatas) | set(obs_after.rdatas)):
             old = obs_before.rdatas.get(key, frozenset())
             new = obs_after.rdatas.get(key, frozenset())
             gone = old - new

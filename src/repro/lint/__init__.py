@@ -1,0 +1,67 @@
+"""``repro.lint`` — AST-based invariant checking for the reproduction.
+
+The detection engines' headline guarantee (batch == stream == sharded,
+finding for finding, given a seed) rests on invariants no type checker
+sees: no wall-clock reads in simulated paths, all randomness through
+label-forked streams, sorted iteration wherever order reaches output,
+fork-safe module state, one shared metric namespace, and full protocol
+conformance for every registered detector. This package turns those
+invariants into CI-gated rules:
+
+``RL000``  parse/IO error (the linter never crashes on bad input)
+``RL101``  wall-clock read in a simulation/detection path
+``RL102``  process-global ``random`` use
+``RL103``  unsorted iteration over a bare set  *(fixable)*
+``RL201``  mutable module-level state in worker-reachable code
+``RL301``  metric name not declared in ``repro.obs.names``
+``RL401``  batch ``DETECTOR_REGISTRY`` protocol conformance
+``RL402``  stream detector registry protocol conformance
+``RL501``  bare ``except:``  *(fixable)*
+``RL502``  broad handler that swallows without re-raise or log
+
+Run ``python -m repro lint [PATHS...]``; see ``docs/LINTS.md`` for the
+full catalogue, suppression syntax (``# repro-lint: disable=RLxxx``),
+and baseline semantics.
+"""
+
+from repro.lint.base import (
+    RULE_CLASSES,
+    FileContext,
+    ImportMap,
+    ProjectIndex,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+)
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import LintReport, LintRunner, collect_files
+from repro.lint.findings import Finding, Fix
+from repro.lint.fixes import apply_fixes, fix_files
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import run_cli
+from repro.lint.suppress import parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "Fix",
+    "ImportMap",
+    "LintReport",
+    "LintRunner",
+    "ProjectIndex",
+    "ProjectRule",
+    "RULE_CLASSES",
+    "Rule",
+    "all_rules",
+    "apply_fixes",
+    "collect_files",
+    "fix_files",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "run_cli",
+]

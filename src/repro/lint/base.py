@@ -1,0 +1,315 @@
+"""Rule protocol, file/project contexts, and the rule registry.
+
+Rules come in two shapes. A :class:`Rule` inspects one parsed file at a
+time via ``check(ctx)``. A :class:`ProjectRule` runs once per lint
+invocation via ``check_project(index)`` and may correlate facts across
+files (the detector-protocol rules resolve registry entries in one module
+against class definitions in another).
+
+Every rule declares a stable ``code`` (``RL...``), a human ``name``, a
+``rationale`` (which engine invariant it protects — surfaced by
+``--list-rules`` and ``docs/LINTS.md``), and a path scope. Scoping is
+prefix-based over repo-relative POSIX paths so that, for example, the
+wall-clock rule binds simulation and detection code but not the
+observability layer, whose entire job is reading wall clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.findings import Finding, Fix
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as handed to per-file rules."""
+
+    path: str  # repo-relative POSIX path
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            lines=source.splitlines(),
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        fix: Optional[Fix] = None,
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.path,
+            line=lineno,
+            col=col,
+            code=rule.code,
+            rule=rule.name,
+            message=message,
+            line_text=self.line_text(lineno),
+            fix=fix,
+        )
+
+
+@dataclass
+class ClassInfo:
+    """A class definition and every member name it provides.
+
+    Members cover method definitions, class-level assignments, and
+    ``self.<attr> = ...`` targets inside any method — the batch detectors
+    expose ``stats`` as a plain instance attribute, which is just as much
+    a protocol member as a ``@property``.
+    """
+
+    name: str
+    path: str
+    lineno: int
+    col: int
+    members: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_node(cls, path: str, node: ast.ClassDef) -> "ClassInfo":
+        members: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                members.add(stmt.name)
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                members.add(target.attr)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        members.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                members.add(stmt.target.id)
+        return cls(
+            name=node.name,
+            path=path,
+            lineno=node.lineno,
+            col=node.col_offset,
+            members=members,
+        )
+
+
+class ProjectIndex:
+    """Cross-file facts shared by project rules.
+
+    Built lazily from the parsed file set: class definitions by name, and
+    the metric-name constants declared in ``repro/obs/names.py``. The
+    index is pure AST — nothing is imported or executed.
+    """
+
+    METRIC_NAMES_SUFFIX = "repro/obs/names.py"
+
+    def __init__(self, files: Dict[str, FileContext]) -> None:
+        self.files = files
+        self._classes: Optional[Dict[str, ClassInfo]] = None
+        self._metric_constants: Optional[Set[str]] = None
+
+    @property
+    def classes(self) -> Dict[str, ClassInfo]:
+        if self._classes is None:
+            self._classes = {}
+            for path in sorted(self.files):
+                ctx = self.files[path]
+                for node in ast.walk(ctx.tree):
+                    if isinstance(node, ast.ClassDef):
+                        # First definition wins; class names are unique in
+                        # practice and determinism matters more than picking
+                        # "the right" duplicate.
+                        self._classes.setdefault(
+                            node.name, ClassInfo.from_node(path, node)
+                        )
+        return self._classes
+
+    def find_file(self, suffix: str) -> Optional[FileContext]:
+        for path in sorted(self.files):
+            if path.endswith(suffix):
+                return self.files[path]
+        return None
+
+    def metric_constants(self) -> Optional[Set[str]]:
+        """Constant names declared in ``repro.obs.names`` (AST-parsed).
+
+        Returns ``None`` when the module is not in the scanned set and
+        cannot be read from the conventional location — rules then skip
+        the declared-ness check rather than guessing.
+        """
+        if self._metric_constants is None:
+            ctx = self.find_file(self.METRIC_NAMES_SUFFIX)
+            if ctx is None:
+                ctx = self._read_names_module()
+            if ctx is None:
+                return None
+            constants: Set[str] = set()
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            constants.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    constants.add(stmt.target.id)
+            self._metric_constants = constants
+        return self._metric_constants
+
+    def _read_names_module(self) -> Optional[FileContext]:
+        import os
+
+        for candidate in (
+            os.path.join("src", *self.METRIC_NAMES_SUFFIX.split("/")),
+            os.path.join(*self.METRIC_NAMES_SUFFIX.split("/")),
+        ):
+            if os.path.exists(candidate):
+                try:
+                    with open(candidate, "r", encoding="utf-8") as handle:
+                        return FileContext.parse(
+                            candidate.replace(os.sep, "/"), handle.read()
+                        )
+                except (OSError, SyntaxError):
+                    return None
+        return None
+
+
+class Rule:
+    """Base class for per-file rules."""
+
+    code: str = "RL000"
+    name: str = "unnamed"
+    rationale: str = ""
+    fixable: bool = False
+    #: Path prefixes (repo-relative, POSIX) the rule binds; empty = all.
+    scope: Tuple[str, ...] = ()
+    #: Path prefixes excluded even when inside ``scope``.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.startswith(prefix) for prefix in self.exclude):
+            return False
+        if not self.scope:
+            return True
+        return any(path.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        return {
+            "code": cls.code,
+            "name": cls.name,
+            "rationale": cls.rationale,
+            "fixable": "yes" if cls.fixable else "no",
+        }
+
+
+class ProjectRule(Rule):
+    """Base class for rules that correlate facts across files."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: Every registered rule class, in code order. Populated by ``register``
+#: at import time only — read-only afterwards, so fork-safe by freeze.
+RULE_CLASSES: List[Type[Rule]] = []  # repro-lint: disable=RL201
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (idempotent)."""
+    if rule_class not in RULE_CLASSES:
+        RULE_CLASSES.append(rule_class)
+        RULE_CLASSES.sort(key=lambda cls: cls.code)
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    import repro.lint.rules_determinism  # noqa: F401  (registration side effect)
+    import repro.lint.rules_except  # noqa: F401
+    import repro.lint.rules_forksafety  # noqa: F401
+    import repro.lint.rules_obs  # noqa: F401
+    import repro.lint.rules_protocol  # noqa: F401
+
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an ``ast.Name``/``ast.Attribute`` chain as ``a.b.c``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local-name → canonical dotted-path resolution for one module.
+
+    ``import datetime as _dt`` maps ``_dt`` → ``datetime``;
+    ``from datetime import date`` maps ``date`` → ``datetime.date``. Used
+    by rules that forbid (or require) specific callables regardless of
+    the aliases a module imports them under.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalize the head of *dotted* through the import aliases."""
+        head, sep, rest = dotted.partition(".")
+        resolved = self.aliases.get(head, head)
+        return resolved + sep + rest if sep else resolved
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        raw = dotted_name(call.func)
+        return self.resolve(raw) if raw is not None else None

@@ -1,0 +1,106 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter land with a non-empty repo without a flag-day
+cleanup: existing findings are recorded once (``--update-baseline``) and
+matched — not reported — on later runs, while any *new* finding still
+fails. Entries match on (path, code, stripped line text) with
+multiplicity, so findings survive unrelated edits that shift line
+numbers but die with the line that caused them.
+
+Two staleness signals keep the file honest: entries whose file no longer
+exists are an error (CI's baseline self-check), and entries that no
+finding matched are reported as removable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """Multiset of grandfathered findings keyed by (path, code, line text)."""
+
+    def __init__(self, entries: Iterable[Dict[str, object]] = ()) -> None:
+        self.entries: List[Dict[str, object]] = [dict(e) for e in entries]
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a lint baseline file")
+        return cls(payload["entries"])
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e.get("path", ""), e.get("code", ""),
+                               e.get("line", 0)),
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            {
+                "path": f.path,
+                "code": f.code,
+                "line": f.line,
+                "text": f.line_text,
+            }
+            for f in findings
+        )
+
+    # -- matching ------------------------------------------------------------
+
+    def _keys(self) -> Counter:
+        return Counter(
+            (str(e.get("path", "")), str(e.get("code", "")), str(e.get("text", "")))
+            for e in self.entries
+        )
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Key]]:
+        """Split findings into (new, baselined); also return unused keys."""
+        budget = self._keys()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        unused = sorted(key for key, count in budget.items() if count > 0)
+        return new, baselined, unused
+
+    def stale_paths(self) -> List[str]:
+        """Baselined paths that no longer exist on disk (an error: the
+        entry can never match again and only hides future findings in a
+        resurrected file of the same name)."""
+        return sorted(
+            {
+                str(e.get("path", ""))
+                for e in self.entries
+                if not os.path.exists(str(e.get("path", "")))
+            }
+        )

@@ -1,0 +1,201 @@
+"""The lint engine: file collection, rule dispatch, suppression, baseline.
+
+Dependency-free by design — ``ast`` + the standard library only — so the
+linter runs in CI before anything is installed and can never be broken
+by the code it checks. Files are collected deterministically (sorted
+walk), findings are reported in (path, line, col, code) order, and a
+file that fails to parse is itself a finding (``RL000``) rather than a
+crash.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.base import (
+    FileContext,
+    ProjectIndex,
+    ProjectRule,
+    Rule,
+    all_rules,
+)
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.suppress import is_suppressed, parse_suppressions
+
+PARSE_ERROR_CODE = "RL000"
+
+#: Directory names never descended into. ``lint_fixtures`` holds the test
+#: corpus of deliberate violations; linting it would make the tree
+#: permanently dirty.
+SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    "build",
+    "dist",
+    "lint_fixtures",
+    "node_modules",
+}
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand *paths* (files or directories) into sorted ``.py`` files."""
+    seen: Dict[str, None] = {}
+    for path in paths:
+        if os.path.isfile(path):
+            seen.setdefault(_normalize(path))
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d not in SKIP_DIRS and not d.endswith(".egg-info")
+            )
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    seen.setdefault(_normalize(os.path.join(root, name)))
+    return sorted(seen)
+
+
+def _normalize(path: str) -> str:
+    """Repo-relative POSIX path when under the cwd, else as given."""
+    relative = os.path.relpath(path)
+    if not relative.startswith(".."):
+        path = relative
+    return path.replace(os.sep, "/")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries no finding matched — removable.
+    unused_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Baseline entries naming files that no longer exist — an error.
+    stale_baseline: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+
+class LintRunner:
+    """Runs a rule set over a file set, applying suppressions + baseline."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.baseline = baseline
+
+    # -- entry points --------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        files = collect_files(paths)
+        contexts: Dict[str, FileContext] = {}
+        findings: List[Finding] = []
+        for path in files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as error:
+                findings.append(_io_finding(path, str(error)))
+                continue
+            context, parse_finding = _parse(path, source)
+            if parse_finding is not None:
+                findings.append(parse_finding)
+                continue
+            contexts[path] = context
+        findings.extend(self.run_contexts(contexts))
+        report = LintReport(files_scanned=len(files))
+        self._finish(report, findings)
+        return report
+
+    def run_source(self, source: str, path: str) -> List[Finding]:
+        """Lint one in-memory source under a synthetic *path* (tests)."""
+        context, parse_finding = _parse(path, source)
+        if parse_finding is not None:
+            return [parse_finding]
+        return self.run_contexts({path: context})
+
+    def run_contexts(self, contexts: Dict[str, FileContext]) -> List[Finding]:
+        findings: List[Finding] = []
+        index = ProjectIndex(contexts)
+        for path in sorted(contexts):
+            context = contexts[path]
+            for rule in self.rules:
+                if isinstance(rule, ProjectRule) or not rule.applies_to(path):
+                    continue
+                findings.extend(rule.check(context))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(index))
+        suppression_cache: Dict[str, Dict] = {}
+        kept: List[Finding] = []
+        for finding in findings:
+            context = contexts.get(finding.path)
+            if context is not None:
+                if finding.path not in suppression_cache:
+                    suppression_cache[finding.path] = parse_suppressions(
+                        context.lines
+                    )
+                if is_suppressed(
+                    suppression_cache[finding.path], finding.line, finding.code
+                ):
+                    continue
+            kept.append(finding)
+        kept.sort(key=Finding.sort_key)
+        return kept
+
+    # -- internals -----------------------------------------------------------
+
+    def _finish(self, report: LintReport, findings: List[Finding]) -> None:
+        findings.sort(key=Finding.sort_key)
+        if self.baseline is not None:
+            new, baselined, unused = self.baseline.partition(findings)
+            report.findings = new
+            report.baselined = baselined
+            report.unused_baseline = unused
+            report.stale_baseline = self.baseline.stale_paths()
+        else:
+            report.findings = findings
+
+
+def _parse(
+    path: str, source: str
+) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    try:
+        return FileContext.parse(path, source), None
+    except SyntaxError as error:
+        return None, Finding(
+            path=path,
+            line=error.lineno or 1,
+            col=(error.offset or 1),
+            code=PARSE_ERROR_CODE,
+            rule="parse-error",
+            message=f"file does not parse: {error.msg}",
+        )
+
+
+def _io_finding(path: str, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=1,
+        col=1,
+        code=PARSE_ERROR_CODE,
+        rule="io-error",
+        message=f"file is unreadable: {message}",
+    )

@@ -1,0 +1,76 @@
+"""Mechanical fixes for the fixable rule subset (``repro lint --fix``).
+
+Two strategies exist, both pure text surgery guided by AST positions the
+rules attach to their findings:
+
+* ``wrap_sorted`` (RL103) — wrap the offending iterable expression in
+  ``sorted(...)``.
+* ``bare_except`` (RL501) — rewrite ``except:`` to ``except Exception:``.
+
+Fixes are applied bottom-up (document order reversed) so earlier edits
+never invalidate later positions, and the result is idempotent: fixed
+code no longer produces the finding, so a second ``--fix`` pass is a
+no-op.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+_BARE_EXCEPT = re.compile(r"except\s*:")
+
+
+def apply_fixes(source: str, findings: Sequence[Finding]) -> Tuple[str, int]:
+    """Apply every carried fix to *source*; returns (new source, applied)."""
+    fixes = [f for f in findings if f.fix is not None]
+    # Bottom-up: later document positions first.
+    fixes.sort(key=lambda f: (f.fix.start[0], f.fix.start[1]), reverse=True)
+    lines = source.splitlines(keepends=True)
+    applied = 0
+    for finding in fixes:
+        fix = finding.fix
+        if fix.kind == "wrap_sorted":
+            if _insert(lines, fix.end, ")") and _insert(lines, fix.start, "sorted("):
+                applied += 1
+        elif fix.kind == "bare_except":
+            line_index = fix.start[0] - 1
+            if 0 <= line_index < len(lines):
+                new_line, count = _BARE_EXCEPT.subn(
+                    "except Exception:", lines[line_index], count=1
+                )
+                if count:
+                    lines[line_index] = new_line
+                    applied += 1
+    return "".join(lines), applied
+
+
+def _insert(lines: List[str], position: Tuple[int, int], text: str) -> bool:
+    line_index, col = position[0] - 1, position[1] - 1
+    if not (0 <= line_index < len(lines)):
+        return False
+    line = lines[line_index]
+    if col > len(line):
+        return False
+    lines[line_index] = line[:col] + text + line[col:]
+    return True
+
+
+def fix_files(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Group *findings* by file, rewrite each once; returns path → applied."""
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+    results: Dict[str, int] = {}
+    for path in sorted(by_path):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        fixed, applied = apply_fixes(source, by_path[path])
+        if applied and fixed != source:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(fixed)
+            results[path] = applied
+    return results

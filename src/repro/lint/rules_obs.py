@@ -1,0 +1,114 @@
+"""Observability hygiene: RL301 metric names must come from repro.obs.names.
+
+The batch pipeline, shard workers, and stream engine all report into one
+metric namespace; a literal name at a call site (or a typo'd constant)
+silently splits a series in two — half the findings counted under one
+name, half under another — which is exactly the drift
+``repro/obs/names.py`` exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.base import FileContext, ImportMap, ProjectIndex, ProjectRule, register
+from repro.lint.findings import Finding
+
+REGISTRY_METHODS = ("counter", "gauge", "histogram")
+NAMES_MODULE = "repro.obs.names"
+
+
+@register
+class MetricNameRule(ProjectRule):
+    """RL301: metric names must be constants declared in repro.obs.names."""
+
+    code = "RL301"
+    name = "undeclared-metric-name"
+    rationale = (
+        "Batch, parallel, and stream runs share one metric namespace; a "
+        "literal or undeclared name at a counter/gauge/histogram call "
+        "site splits a time series in two the moment a second call site "
+        "drifts, so every name must be a constant declared in "
+        "repro.obs.names."
+    )
+    scope = ("src/repro/",)
+    exclude = ("src/repro/obs/",)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        declared = index.metric_constants()
+        for path in sorted(index.files):
+            if not self.applies_to(path):
+                continue
+            ctx = index.files[path]
+            imports = ImportMap(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                finding = self._check_call(ctx, imports, node, declared)
+                if finding is not None:
+                    yield finding
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        imports: ImportMap,
+        node: ast.AST,
+        declared: Optional[Set[str]],
+    ) -> Optional[Finding]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in REGISTRY_METHODS
+            and node.args
+        ):
+            return None
+        # Skip registry-internal plumbing (self.counter(...) definitions).
+        if isinstance(node.func.value, ast.Name) and node.func.value.id in (
+            "self",
+            "cls",
+        ):
+            return None
+        name_arg = node.args[0]
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            return ctx.finding(
+                self,
+                name_arg,
+                f"literal metric name {name_arg.value!r}; declare it as a "
+                f"constant in {NAMES_MODULE} and reference that",
+            )
+        if isinstance(name_arg, ast.Attribute) and isinstance(
+            name_arg.value, ast.Name
+        ):
+            module = imports.resolve(name_arg.value.id)
+            if module != NAMES_MODULE:
+                return ctx.finding(
+                    self,
+                    name_arg,
+                    f"metric name read from '{module}', not {NAMES_MODULE}; "
+                    "all names live in one module so series cannot drift",
+                )
+            if declared is not None and name_arg.attr not in declared:
+                return ctx.finding(
+                    self,
+                    name_arg,
+                    f"metric name constant '{name_arg.attr}' is not declared "
+                    f"in {NAMES_MODULE}",
+                )
+            return None
+        if isinstance(name_arg, ast.Name):
+            origin = imports.resolve(name_arg.id)
+            if origin.startswith(NAMES_MODULE + "."):
+                constant = origin.rsplit(".", 1)[1]
+                if declared is not None and constant not in declared:
+                    return ctx.finding(
+                        self,
+                        name_arg,
+                        f"metric name constant '{constant}' is not declared "
+                        f"in {NAMES_MODULE}",
+                    )
+                return None
+        return ctx.finding(
+            self,
+            name_arg,
+            "metric name is not a repro.obs.names constant; dynamic names "
+            "fragment the shared series namespace",
+        )

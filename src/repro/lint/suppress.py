@@ -1,0 +1,46 @@
+"""Inline suppression comments.
+
+``# repro-lint: disable=RL101`` at the end of a line suppresses findings
+of that code reported *on that physical line* (multiple codes separate
+with commas; ``disable=all`` suppresses everything). Suppressions are
+deliberately line-scoped: a justification comment sits next to exactly
+the construct it excuses, and moving the construct moves — or breaks —
+the excuse with it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+)
+
+ALL = "all"
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number → codes suppressed on that line."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _PATTERN.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            part.strip().upper() if part.strip() != ALL else ALL
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if codes:
+            out[index] = codes
+    return out
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, code: str
+) -> bool:
+    codes = suppressions.get(line)
+    return codes is not None and (code.upper() in codes or ALL in codes)

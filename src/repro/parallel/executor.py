@@ -136,8 +136,10 @@ class SerialExecutor:
 
 
 # Module globals inherited by forked pool workers (zero input pickling).
-_FORK_PLAN: Optional[ShardPlan] = None
-_FORK_CONFIG: Optional[WorkerConfig] = None
+# Deliberate fork-channel: written once in the parent before the pool
+# starts, read-only in workers, cleared in the parent's finally.
+_FORK_PLAN: Optional[ShardPlan] = None  # repro-lint: disable=RL201
+_FORK_CONFIG: Optional[WorkerConfig] = None  # repro-lint: disable=RL201
 
 
 def _run_shard_by_index(shard_index: int) -> ShardOutcome:

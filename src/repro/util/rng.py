@@ -134,7 +134,9 @@ class RngStream:
         return max(minimum, min(maximum, int(round(value))))
 
 
-_ZIPF_CACHE: dict = {}
+# Deterministic memo (same key -> identical recomputed value), so
+# per-process divergence after fork is harmless.
+_ZIPF_CACHE: dict = {}  # repro-lint: disable=RL201
 
 
 def _zipf_cdf(n: int, exponent: float) -> List[float]:

@@ -1,0 +1,11 @@
+"""BAD: wall-clock reads inside a simulated detection path."""
+
+import time
+from datetime import date, datetime
+
+
+def detect_today():
+    started = time.time()
+    observation_day = date.today().toordinal()
+    stamp = datetime.now()
+    return started, observation_day, stamp

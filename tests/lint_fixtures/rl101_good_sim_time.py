@@ -1,0 +1,14 @@
+"""GOOD: time comes from the simulated timeline, not the wall clock.
+
+``perf_counter`` is explicitly fine — it measures durations for
+telemetry and never feeds simulated results.
+"""
+
+import datetime as _dt
+from time import perf_counter
+
+
+def detect_on(day: int):
+    started = perf_counter()
+    observed = _dt.date.fromordinal(day)
+    return observed, perf_counter() - started

@@ -1,0 +1,11 @@
+"""BAD: draws from the process-global random module."""
+
+import random
+from random import choice
+
+
+def pick(items):
+    jitter = random.random()
+    winner = choice(items)
+    random.shuffle(items)
+    return jitter, winner

@@ -1,0 +1,11 @@
+"""GOOD: randomness through explicit seeding / forked streams only."""
+
+import random
+
+
+class Stream:
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, items):
+        return self._rng.choice(items)

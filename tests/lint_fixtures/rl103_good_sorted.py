@@ -1,0 +1,16 @@
+"""GOOD: every set walk is wrapped in sorted(...); lists iterate freely."""
+
+
+def merge_keys(before, after):
+    out = []
+    for key in sorted(set(before) | set(after)):
+        out.append(key)
+    return out
+
+
+def list_walk(items):
+    return [item for item in items]
+
+
+def membership_only(haystack, needle):
+    return needle in set(haystack)

@@ -1,0 +1,15 @@
+"""BAD: module-level containers mutated from function bodies."""
+
+_CACHE = {}
+_SEEN = []
+_TOTAL = 0
+
+
+def remember(key, value):
+    _CACHE[key] = value
+    _SEEN.append(key)
+
+
+def bump(amount):
+    global _TOTAL
+    _TOTAL += amount

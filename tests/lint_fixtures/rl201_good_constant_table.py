@@ -1,0 +1,22 @@
+"""GOOD: module-level tables defined once and only read."""
+
+_DIALECTS = {"verisign": ("%d-%b-%Y",), "legacy": ("%Y-%m-%d",)}
+PRIORITY = ["crl", "whois", "dns"]
+
+
+def patterns(dialect):
+    return _DIALECTS.get(dialect, ())
+
+
+def first_source():
+    return PRIORITY[0]
+
+
+class Holder:
+    def __init__(self):
+        self._cache = {}
+
+    def remember(self, key, value):
+        # Instance state is fine: it is constructed, passed, and merged
+        # explicitly rather than hiding at module scope.
+        self._cache[key] = value

@@ -1,0 +1,11 @@
+"""BAD: metric names that bypass the repro.obs.names namespace."""
+
+from repro import cli as not_names
+from repro.obs import get_registry, names
+
+
+def instrument():
+    registry = get_registry()
+    registry.counter("repro_rogue_total", "a literal name").inc()
+    registry.gauge(names.TOTALLY_UNDECLARED_NAME, "typo'd constant").set(1)
+    registry.histogram(not_names.SOMETHING, "wrong module").observe(2.0)

@@ -1,0 +1,15 @@
+"""GOOD: every metric name is a declared repro.obs.names constant."""
+
+from repro.obs import get_registry, names
+
+
+def instrument(elapsed: float) -> None:
+    registry = get_registry()
+    registry.counter(
+        names.FINDINGS_TOTAL, names.FINDINGS_TOTAL_HELP,
+        labels=("staleness_class",),
+    ).inc(staleness_class="key_compromise")
+    registry.histogram(
+        names.DETECTOR_SECONDS, names.DETECTOR_SECONDS_HELP,
+        labels=("detector",),
+    ).observe(elapsed, detector="key_compromise")

@@ -1,0 +1,28 @@
+"""BAD: a DETECTOR_REGISTRY build target missing the Detector protocol.
+
+``NoStatsDetector`` implements ``detect`` but never provides ``stats``
+(no property, no class attribute, no ``self.stats`` assignment), so the
+pipeline's join-accounting read crashes at runtime.
+"""
+
+
+class DetectorSpec:
+    def __init__(self, key, build, inputs=None, applies=None):
+        self.key = key
+        self.build = build
+
+
+class NoStatsDetector:
+    def __init__(self, corpus):
+        self._corpus = corpus
+
+    def detect(self, inputs, findings=None):
+        return findings
+
+
+DETECTOR_REGISTRY = (
+    DetectorSpec(
+        key="no_stats",
+        build=lambda bundle, config: NoStatsDetector(bundle.corpus),
+    ),
+)

@@ -1,0 +1,24 @@
+"""GOOD: every build target defines detect and stats."""
+
+
+class DetectorSpec:
+    def __init__(self, key, build, inputs=None, applies=None):
+        self.key = key
+        self.build = build
+
+
+class CompleteDetector:
+    def __init__(self, corpus):
+        self._corpus = corpus
+        self.stats = None
+
+    def detect(self, inputs, findings=None):
+        return findings
+
+
+DETECTOR_REGISTRY = (
+    DetectorSpec(
+        key="complete",
+        build=lambda bundle, config: CompleteDetector(bundle.corpus),
+    ),
+)

@@ -1,0 +1,22 @@
+"""BAD: a stream-registry detector missing restore_state (and stats).
+
+Works fine until the first checkpoint resume touches the missing member
+mid-collection — exactly the failure mode the rule exists to catch.
+"""
+
+
+class IncompleteStreamDetector:
+    name = "incomplete"
+    event_type = "crl_delta_published"
+
+    def consume(self, event):
+        return []
+
+    def finalize(self):
+        return []
+
+
+class StreamEngine:
+    def __init__(self, bundle):
+        self._kc = IncompleteStreamDetector()
+        self._detectors = (self._kc,)

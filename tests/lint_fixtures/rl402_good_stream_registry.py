@@ -1,0 +1,25 @@
+"""GOOD: the registered wrapper provides the full uniform registry shape."""
+
+
+class CompleteStreamDetector:
+    name = "complete"
+    event_type = "crl_delta_published"
+
+    def consume(self, event):
+        return []
+
+    def finalize(self):
+        return []
+
+    @property
+    def stats(self):
+        return None
+
+    def restore_state(self, state, resolve_certificate=None):
+        return None
+
+
+class StreamEngine:
+    def __init__(self, bundle):
+        self._kc = CompleteStreamDetector()
+        self._detectors = (self._kc,)

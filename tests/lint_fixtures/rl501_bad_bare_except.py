@@ -1,0 +1,9 @@
+"""BAD: bare except also traps KeyboardInterrupt/SystemExit."""
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:  # noqa: E722 (deliberate fixture)
+        return None

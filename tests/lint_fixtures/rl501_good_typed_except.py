@@ -1,0 +1,9 @@
+"""GOOD: handlers name what they expect."""
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:
+        return None

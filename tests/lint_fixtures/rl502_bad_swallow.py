@@ -1,0 +1,18 @@
+"""BAD: broad handlers that neither re-raise nor leave a record."""
+
+
+def parse_quietly(records):
+    out = []
+    for record in records:
+        try:
+            out.append(int(record))
+        except Exception:
+            pass
+    return out
+
+
+def tuple_swallow(value):
+    try:
+        return float(value)
+    except (ValueError, BaseException):
+        return 0.0

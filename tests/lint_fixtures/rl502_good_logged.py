@@ -1,0 +1,31 @@
+"""GOOD: broad handlers re-raise, log, or print before moving on."""
+
+import logging
+import sys
+
+logger = logging.getLogger(__name__)
+
+
+def parse_logged(records):
+    out = []
+    for record in records:
+        try:
+            out.append(int(record))
+        except Exception:
+            logger.warning("unparseable record %r", record)
+    return out
+
+
+def rethrow(action):
+    try:
+        return action()
+    except Exception:
+        print("action failed", file=sys.stderr)
+        raise
+
+
+def narrow_is_fine(value):
+    try:
+        return float(value)
+    except ValueError:
+        return 0.0

@@ -1,0 +1,123 @@
+"""``repro lint --fix``: mechanical rewrites and their idempotence."""
+
+from __future__ import annotations
+
+from repro.lint import LintRunner, apply_fixes, fix_files
+
+PATH = "src/repro/core/sample.py"
+
+
+def lint(source: str):
+    return LintRunner().run_source(source, PATH)
+
+
+def fix_once(source: str):
+    return apply_fixes(source, lint(source))
+
+
+class TestBareExceptFix:
+    SOURCE = (
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except:\n"
+        "        raise ValueError('no')\n"
+    )
+
+    def test_rewrites_to_except_exception(self):
+        fixed, applied = fix_once(self.SOURCE)
+        assert applied == 1
+        assert "except Exception:" in fixed
+        assert "except:" not in fixed.replace("except Exception:", "")
+
+    def test_fix_is_idempotent(self):
+        fixed, _ = fix_once(self.SOURCE)
+        again, applied = fix_once(fixed)
+        assert applied == 0
+        assert again == fixed
+
+    def test_fixed_source_no_longer_fires_rl501(self):
+        fixed, _ = fix_once(self.SOURCE)
+        assert not [f for f in lint(fixed) if f.code == "RL501"]
+
+
+class TestSortedWrapFix:
+    def test_wraps_for_loop_iterable(self):
+        source = (
+            "def merge(a, b):\n"
+            "    out = []\n"
+            "    for key in set(a) | set(b):\n"
+            "        out.append(key)\n"
+            "    return out\n"
+        )
+        fixed, applied = fix_once(source)
+        assert applied == 1
+        assert "for key in sorted(set(a) | set(b)):" in fixed
+
+    def test_wraps_comprehension_iterable(self):
+        source = "def f(groups):\n    return [x for x in {g for g in groups}]\n"
+        fixed, applied = fix_once(source)
+        assert applied == 1
+        assert "[x for x in sorted({g for g in groups})]" in fixed
+
+    def test_wraps_multiline_expression(self):
+        source = (
+            "def merge(a, b):\n"
+            "    for key in set(a) | set(\n"
+            "        b\n"
+            "    ):\n"
+            "        yield key\n"
+        )
+        fixed, applied = fix_once(source)
+        assert applied == 1
+        assert "for key in sorted(set(a) | set(" in fixed
+        assert "    )):" in fixed
+
+    def test_fix_is_idempotent_and_silences_rl103(self):
+        source = "def f(a):\n    return [k for k in set(a)]\n"
+        fixed, _ = fix_once(source)
+        assert not [f for f in lint(fixed) if f.code == "RL103"]
+        again, applied = fix_once(fixed)
+        assert applied == 0 and again == fixed
+
+
+class TestMixedFixes:
+    SOURCE = (
+        "def f(a):\n"
+        "    try:\n"
+        "        for k in set(a):\n"
+        "            print(k)\n"
+        "    except:\n"
+        "        raise RuntimeError('x')\n"
+    )
+
+    def test_both_fix_kinds_apply_in_one_pass(self):
+        fixed, applied = fix_once(self.SOURCE)
+        assert applied == 2
+        assert "for k in sorted(set(a)):" in fixed
+        assert "except Exception:" in fixed
+        remaining = {f.code for f in lint(fixed)}
+        assert not remaining & {"RL103", "RL501"}
+
+    def test_double_pass_converges(self):
+        once, _ = fix_once(self.SOURCE)
+        twice, applied = fix_once(once)
+        assert applied == 0 and twice == once
+
+
+class TestFixFiles:
+    def test_writes_fixed_files_and_reports_counts(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "src" / "repro" / "core" / "a.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(TestMixedFixes.SOURCE)
+
+        report = LintRunner().run(["src"])
+        results = fix_files(report.findings)
+        assert results == {"src/repro/core/a.py": 2}
+        assert "sorted(set(a))" in target.read_text()
+
+        # After the rewrite the tree carries no fixable findings.
+        report = LintRunner().run(["src"])
+        assert not [f for f in report.findings if f.fixable]
+        assert fix_files(report.findings) == {}
