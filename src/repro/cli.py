@@ -14,6 +14,8 @@ Drives the full reproduction from a shell::
     python -m repro profile   trace.json --top 10
     python -m repro obs-diff  benchmarks/baselines/detect-scale002 run/
     python -m repro lint      src tests --format json
+    python -m repro serve     --bundle /tmp/bundle --port 8323
+    python -m repro serve     --scale 0.05 --warm-check --metrics-out m.prom
 
 Every command simulates (or reuses, within one invocation) a seeded world,
 so results are reproducible given ``--seed``/``--scale``.
@@ -33,6 +35,11 @@ crashed or interrupted run still emits its partial telemetry.
 ``profile`` aggregates an exported trace (per-span self/cumulative time
 and the cross-worker critical path); ``obs-diff`` compares two runs'
 artifacts and exits non-zero on regressions beyond ``--threshold``.
+
+``serve`` builds a :class:`repro.serve.index.FindingsIndex` once and
+answers staleness queries over a read-only HTTP API (stdlib ``wsgiref``;
+see ``docs/API.md``); ``--warm-check`` self-queries every endpoint
+in-process — no socket — and exits, which is how CI smokes the service.
 
 ``lint`` runs the project's own AST static analysis (:mod:`repro.lint`)
 over the given paths (default ``src tests``) and exits non-zero on new
@@ -229,6 +236,34 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default text)",
+    )
+
+    serve = sub.add_parser(
+        "serve", parents=[common, data, obsopts],
+        help="serve findings over a read-only HTTP API backed by an "
+        "in-memory index (stdlib wsgiref; see docs/API.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8323, metavar="N",
+        help="listen port (default 8323; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--warm-check", action="store_true",
+        help="build the index, self-query every endpoint in-process "
+        "(no socket), print the probe report, and exit non-zero on any "
+        "failed probe",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="stop after answering N requests (smoke tests; default: "
+        "serve until interrupted)",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="--warm-check report format (default text)",
     )
 
     lint = sub.add_parser(
@@ -648,6 +683,49 @@ def cmd_watch(args) -> int:
     return 0 if equivalent in (None, True) else 1
 
 
+def cmd_serve(args) -> int:
+    """Serve findings over the read-only staleness query API."""
+    from repro.serve import FindingsIndex, create_app, run_server, warm_check
+
+    try:
+        bundle, cutoff = _bundle_and_cutoff(args)
+        result = MeasurementPipeline.run_bundle(
+            bundle,
+            revocation_cutoff_day=cutoff,
+            workers=getattr(args, "workers", 1),
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot build serving index: {error}", file=sys.stderr)
+        return 2
+    app = create_app(FindingsIndex(result))
+    stats = app.index.stats()
+    print(
+        f"index ready: {stats['findings']} findings, {stats['domains']} "
+        f"domains, {stats['issuers']} issuers "
+        f"(built in {stats['build_seconds']:.3f}s)",
+        file=sys.stderr,
+    )
+    if args.warm_check:
+        report = warm_check(app)
+        if _wants_json(args):
+            _print_json(report)
+        else:
+            print(render_table(
+                ["Method", "Path", "Query", "Want", "Got", "Verdict"],
+                [
+                    (c["method"], c["path"], c["query"] or "-",
+                     c["expected_status"], c["status"],
+                     "ok" if c["ok"] else "FAIL")
+                    for c in report["checks"]
+                ],
+                title=f"Warm check — {report['probes']} probes, "
+                f"{report['failures']} failure(s)",
+            ))
+        return 0 if report["ok"] else 1
+    run_server(app, host=args.host, port=args.port, max_requests=args.max_requests)
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Static invariant checks (see repro.lint and docs/LINTS.md)."""
     from repro.lint.runner import run_cli
@@ -863,6 +941,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "watch": cmd_watch,
         "profile": cmd_profile,
         "obs-diff": cmd_obs_diff,
+        "serve": cmd_serve,
         "lint": cmd_lint,
     }
     import logging

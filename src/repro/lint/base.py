@@ -263,6 +263,7 @@ def all_rules() -> List[Rule]:
     import repro.lint.rules_forksafety  # noqa: F401
     import repro.lint.rules_obs  # noqa: F401
     import repro.lint.rules_protocol  # noqa: F401
+    import repro.lint.rules_serve  # noqa: F401
 
     return [rule_class() for rule_class in RULE_CLASSES]
 

@@ -54,6 +54,20 @@ SWEEP_SCANS_HELP = "Active intervals scanned by interval_sweep_join."
 SWEEP_PAIRS = "repro_interval_sweep_pairs_total"
 SWEEP_PAIRS_HELP = "(event, interval) pairs emitted by interval_sweep_join."
 
+# -- query service (repro.serve) ---------------------------------------------
+
+SERVE_REQUESTS = "repro_serve_requests_total"
+SERVE_REQUESTS_HELP = "HTTP requests answered, by route template and status."
+
+SERVE_REQUEST_SECONDS = "repro_serve_request_seconds"
+SERVE_REQUEST_SECONDS_HELP = "Request handling wall time, by route template."
+
+SERVE_INDEX_FINDINGS = "repro_serve_index_findings"
+SERVE_INDEX_FINDINGS_HELP = "Findings held by the serving index."
+
+SERVE_INDEX_BUILD_SECONDS = "repro_serve_index_build_seconds"
+SERVE_INDEX_BUILD_SECONDS_HELP = "Wall time spent building the serving index."
+
 # -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"

@@ -1,0 +1,21 @@
+"""`repro.serve` — the staleness query service.
+
+An indexed findings store (:class:`~repro.serve.index.FindingsIndex`)
+plus a read-only WSGI API (:class:`~repro.serve.app.StalenessApp`) that
+answers "is this domain exposed through a stale certificate?" without
+re-running the pipeline. See ``docs/API.md`` for the endpoint table.
+"""
+
+from repro.serve.app import ApiError, StalenessApp, create_app
+from repro.serve.index import FindingsIndex
+from repro.serve.server import call_app, run_server, warm_check
+
+__all__ = [
+    "ApiError",
+    "FindingsIndex",
+    "StalenessApp",
+    "call_app",
+    "create_app",
+    "run_server",
+    "warm_check",
+]

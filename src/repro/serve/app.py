@@ -1,0 +1,272 @@
+"""Read-only WSGI application over a :class:`~repro.serve.index.FindingsIndex`.
+
+A dependency-light staleness query service: the app is a plain WSGI
+callable (stdlib ``wsgiref`` hosts it for the reference server, but any
+WSGI/ASGI-with-adapter host can mount it). Endpoints:
+
+=======  =============================  =============================================
+Method   Path                           Answer
+=======  =============================  =============================================
+GET      ``/health``                    liveness + index shape
+GET      ``/v1/domains/{domain}``       per-domain findings across all classes
+GET      ``/v1/aggregates?by=...``      grouped counts (``class``/``issuer``/``year``)
+GET      ``/v1/survival?class=...``     survival-curve slices (Figure 8)
+GET      ``/v1/whatif/caps?days=...``   lifetime-cap reductions (Section 6)
+=======  =============================  =============================================
+
+Every response — success or failure — is a JSON document with sorted
+keys, so identical queries produce byte-identical bodies. Failures use
+one error model and **never** leak a traceback::
+
+    {"error": {"status": 404, "code": "unknown_domain", "message": "..."}}
+
+Observability: each request runs under a ``serve_request`` span and
+records into the shared :mod:`repro.obs` registry — a request counter by
+route template and status, and a latency histogram by route template
+(templates, not raw paths, so domain names never explode a label set).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, unquote
+
+from repro.core.stale import StalenessClass
+from repro.obs import get_registry, log, names, span
+from repro.serve.index import FindingsIndex
+from repro.util.dates import parse_day
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+#: Default evaluation points for survival slices (the Figure 8 readoffs).
+DEFAULT_SURVIVAL_AT = (90, 215)
+
+#: Default lifetime-cap grid (the paper's Section 6 study points).
+DEFAULT_CAPS = (45, 90, 215)
+
+
+class ApiError(Exception):
+    """One expected request failure, rendered as the JSON error model."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def json_error(status: int, code: str, message: str) -> Tuple[int, dict]:
+    """The one error shape every failing response uses."""
+    return status, {
+        "error": {"status": status, "code": code, "message": message}
+    }
+
+
+def _single(query: Dict[str, List[str]], key: str) -> Optional[str]:
+    values = query.get(key)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise ApiError(400, "bad_query", f"parameter {key!r} given more than once")
+    return values[0]
+
+
+def _int_list(text: str, key: str) -> List[int]:
+    items: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            items.append(int(part))
+        except ValueError:
+            raise ApiError(
+                400, "bad_query", f"parameter {key!r} wants integers, got {part!r}"
+            ) from None
+    if not items:
+        raise ApiError(400, "bad_query", f"parameter {key!r} is empty")
+    return items
+
+
+class StalenessApp:
+    """WSGI callable answering staleness queries from a warm index."""
+
+    def __init__(self, index: FindingsIndex) -> None:
+        self._index = index
+        #: (template, matcher) pairs; the template doubles as the metric
+        #: route label so cardinality stays bounded.
+        self._routes: Tuple[Tuple[str, Callable[..., dict]], ...] = (
+            ("/health", self._health),
+            ("/v1/domains/{domain}", self._domain),
+            ("/v1/aggregates", self._aggregates),
+            ("/v1/survival", self._survival),
+            ("/v1/whatif/caps", self._caps),
+        )
+
+    @property
+    def index(self) -> FindingsIndex:
+        return self._index
+
+    # -- WSGI ----------------------------------------------------------------
+
+    def __call__(self, environ, start_response) -> List[bytes]:
+        started = perf_counter()
+        method = (environ.get("REQUEST_METHOD") or "GET").upper()
+        path = environ.get("PATH_INFO") or "/"
+        query = parse_qs(environ.get("QUERY_STRING") or "", keep_blank_values=True)
+        route, handler, argument = self._resolve(path)
+        with span("serve_request", route=route, method=method):
+            status, payload = self._dispatch(route, handler, argument, method, query)
+            body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        registry = get_registry()
+        registry.counter(
+            names.SERVE_REQUESTS, names.SERVE_REQUESTS_HELP,
+            labels=("route", "status"),
+        ).inc(route=route, status=str(status))
+        registry.histogram(
+            names.SERVE_REQUEST_SECONDS, names.SERVE_REQUEST_SECONDS_HELP,
+            labels=("route",),
+        ).observe(perf_counter() - started, route=route)
+        headers = [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+        ]
+        if status == 405:
+            headers.append(("Allow", "GET, HEAD"))
+        start_response(f"{status} {_REASONS.get(status, 'Unknown')}", headers)
+        if method == "HEAD":
+            return [b""]
+        return [body]
+
+    def _dispatch(
+        self,
+        route: str,
+        handler: Optional[Callable[..., dict]],
+        argument: Optional[str],
+        method: str,
+        query: Dict[str, List[str]],
+    ) -> Tuple[int, dict]:
+        try:
+            if handler is None:
+                raise ApiError(404, "unknown_route", f"no such endpoint: {route}")
+            if method not in ("GET", "HEAD"):
+                raise ApiError(
+                    405, "method_not_allowed",
+                    f"{method} not supported; this API is read-only (GET/HEAD)",
+                )
+            if argument is None:
+                return 200, handler(query)
+            return 200, handler(argument, query)
+        except ApiError as error:
+            return json_error(error.status, error.code, error.message)
+        except Exception as error:
+            # The one broad handler: an unexpected failure becomes the same
+            # JSON error shape as every expected one — never a traceback in
+            # the body — and leaves a structured record behind for operators.
+            log(
+                "serve_unhandled_error",
+                level=logging.ERROR,
+                subsystem="serve",
+                route=route,
+                error=repr(error),
+            )
+            return json_error(
+                500, "internal_error", "unexpected error answering the query"
+            )
+
+    def _resolve(
+        self, path: str
+    ) -> Tuple[str, Optional[Callable[..., dict]], Optional[str]]:
+        """Match a raw path to (route template, handler, path argument)."""
+        if path.startswith("/v1/domains/"):
+            remainder = unquote(path[len("/v1/domains/"):])
+            if remainder and "/" not in remainder:
+                return "/v1/domains/{domain}", self._domain, remainder
+            return "/v1/domains/{domain}", None, None
+        for template, handler in self._routes:
+            if template == path:
+                return template, handler, None
+        return "unmatched", None, None
+
+    # -- handlers ------------------------------------------------------------
+
+    def _health(self, query: Dict[str, List[str]]) -> dict:
+        return {"status": "ok", "index": self._index.stats()}
+
+    def _domain(self, name: str, query: Dict[str, List[str]]) -> dict:
+        on_text = _single(query, "on")
+        on_day = None
+        if on_text is not None:
+            try:
+                on_day = parse_day(on_text)
+            except ValueError as error:
+                raise ApiError(400, "bad_query", f"bad 'on' date: {error}") from error
+        try:
+            answer = self._index.domain(name, on_day=on_day)
+        except ValueError as error:
+            raise ApiError(
+                400, "bad_domain", f"invalid domain name {name!r}: {error}"
+            ) from error
+        if answer is None:
+            raise ApiError(
+                404, "unknown_domain",
+                f"no stale-certificate findings indexed for {name!r}",
+            )
+        return answer
+
+    def _aggregates(self, query: Dict[str, List[str]]) -> dict:
+        by = _single(query, "by") or "class"
+        if by not in ("class", "issuer", "year"):
+            raise ApiError(
+                400, "bad_query",
+                f"parameter 'by' must be class, issuer, or year; got {by!r}",
+            )
+        return {"by": by, "rows": self._index.aggregates(by)}
+
+    def _survival(self, query: Dict[str, List[str]]) -> dict:
+        at_text = _single(query, "at")
+        at: Sequence[int] = (
+            _int_list(at_text, "at") if at_text is not None else DEFAULT_SURVIVAL_AT
+        )
+        class_text = _single(query, "class")
+        if class_text is not None:
+            try:
+                requested = (StalenessClass(class_text),)
+            except ValueError:
+                raise ApiError(
+                    400, "bad_query",
+                    f"unknown staleness class {class_text!r}; one of "
+                    + ", ".join(cls.value for cls in StalenessClass),
+                ) from None
+        else:
+            requested = self._index.survival_classes()
+        return {
+            "at": list(at),
+            "classes": [self._index.survival(cls, at) for cls in requested],
+        }
+
+    def _caps(self, query: Dict[str, List[str]]) -> dict:
+        days_text = _single(query, "days")
+        caps: Sequence[int] = (
+            _int_list(days_text, "days") if days_text is not None else DEFAULT_CAPS
+        )
+        if len(caps) > 32:
+            raise ApiError(400, "bad_query", "at most 32 caps per query")
+        try:
+            return self._index.caps(caps)
+        except ValueError as error:
+            raise ApiError(400, "bad_query", str(error)) from error
+
+
+def create_app(index: FindingsIndex) -> StalenessApp:
+    """Compose the query service over a built index."""
+    return StalenessApp(index)

@@ -1,0 +1,19 @@
+"""BAD: serve-path handlers that hide failures from the HTTP client."""
+
+
+def handle_domain(index, name):
+    try:
+        return 200, index.domain(name)
+    except ValueError:
+        # Swallowed: the client gets a 200 built from nothing.
+        return 200, {"domain": name, "findings": []}
+
+
+def handle_caps(index, caps):
+    answer = {}
+    for cap in caps:
+        try:
+            answer[cap] = index.caps([cap])
+        except Exception:
+            pass
+    return 200, answer

@@ -1,0 +1,31 @@
+"""GOOD: serve-path handlers route every failure into the error model."""
+
+
+class ApiError(Exception):
+    def __init__(self, status, code, message):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def json_error(status, code, message):
+    return status, {"error": {"status": status, "code": code, "message": message}}
+
+
+def handle_domain(index, name):
+    try:
+        answer = index.domain(name)
+    except ValueError as error:
+        raise ApiError(400, "bad_domain", str(error)) from error
+    return 200, answer
+
+
+def dispatch(handler, request, log):
+    try:
+        return 200, handler(request)
+    except ApiError as error:
+        return json_error(error.status, error.code, error.message)
+    except Exception as error:
+        log("serve_unhandled_error", error=repr(error))
+        return json_error(500, "internal_error", "unexpected error")

@@ -70,6 +70,29 @@ class TestParser:
         assert args.run_b == "b"
         assert args.threshold == 25.0
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8323
+        assert args.warm_check is False
+        assert args.max_requests is None
+        assert args.workers == 1
+        assert args.bundle is None
+        assert args.metrics_out is None
+
+    def test_serve_accepts_bundle_and_obs_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--bundle", "b", "--warm-check", "--port", "0",
+             "--metrics-out", "m.prom", "--trace-out", "t.json",
+             "--format", "json"]
+        )
+        assert args.bundle == "b"
+        assert args.warm_check is True
+        assert args.port == 0
+        assert args.metrics_out == "m.prom"
+        assert args.trace_out == "t.json"
+        assert args.format == "json"
+
 
 class TestCommands:
     def test_simulate(self, capsys):
@@ -258,6 +281,58 @@ class TestWatch:
         assert payload["complete"] is True
         assert payload["table4"]
         assert sum(payload["stats"]["events_by_type"].values()) > 0
+
+class TestServe:
+    def test_warm_check_text(self, capsys):
+        assert main(ARGS + ["serve", "--warm-check"]) == 0
+        captured = capsys.readouterr()
+        assert "index ready" in captured.err
+        assert "0 failure(s)" in captured.out
+
+    def test_warm_check_json(self, capsys):
+        assert main(ARGS + ["serve", "--warm-check", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["failures"] == 0
+        assert payload["index"]["findings"] > 0
+        assert all(check["ok"] for check in payload["checks"])
+
+    def test_warm_check_from_saved_bundle(self, tmp_path, capsys):
+        bundle_dir = str(tmp_path / "bundle")
+        assert main(ARGS + ["save", "--dir", bundle_dir]) == 0
+        capsys.readouterr()
+        assert main(ARGS + ["serve", "--bundle", bundle_dir, "--warm-check"]) == 0
+        captured = capsys.readouterr()
+        assert "loading bundle" in captured.err
+        assert "simulating world" not in captured.err
+
+    def test_corrupt_bundle_exits_2(self, tmp_path, capsys):
+        import gzip
+        import os
+
+        bundle_dir = str(tmp_path / "bundle")
+        assert main(ARGS + ["save", "--dir", bundle_dir]) == 0
+        capsys.readouterr()
+        with gzip.open(os.path.join(bundle_dir, "corpus.jsonl.gz"), "wt") as f:
+            f.write("not json\n")
+        assert main(ARGS + ["serve", "--bundle", bundle_dir, "--warm-check"]) == 2
+        assert "cannot build serving index" in capsys.readouterr().err
+
+    def test_warm_check_writes_run_artifacts(self, tmp_path, capsys):
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert main(ARGS + ["serve", "--warm-check",
+                            "--metrics-out", metrics_path]) == 0
+        assert "wrote metrics to" in capsys.readouterr().err
+        from repro.obs import names, parse_text
+
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            samples = parse_text(handle.read())
+        route_200 = (
+            f'{names.SERVE_REQUESTS}{{route="/health",status="200"}}'
+        )
+        assert samples.get(route_200, 0) >= 1
+        assert any(names.SERVE_INDEX_FINDINGS in key for key in samples)
+
 
 class TestRunArtifacts:
     def test_trace_out_writes_loadable_trace_and_manifest(self, tmp_path, capsys):

@@ -21,6 +21,7 @@ FIXTURE_DIR = Path(__file__).parent / "lint_fixtures"
 SYNTHETIC_PATHS = {
     "RL401": "fixtures/repro/core/pipeline.py",
     "RL402": "fixtures/repro/stream/engine.py",
+    "RL503": "src/repro/serve/app.py",
 }
 DEFAULT_PATH = "src/repro/core/fixture_under_test.py"
 
@@ -106,6 +107,21 @@ class TestRuleDetails:
     def test_swallow_rule_reports_both_handlers(self):
         findings = lint_fixture(FIXTURE_DIR / "rl502_bad_swallow.py", "RL502")
         assert len([f for f in findings if f.code == "RL502"]) == 2
+
+    def test_serve_error_model_reports_each_swallow(self):
+        findings = lint_fixture(
+            FIXTURE_DIR / "rl503_bad_swallowed_serve_error.py", "RL503"
+        )
+        assert len([f for f in findings if f.code == "RL503"]) == 2
+
+    def test_serve_error_model_scope(self):
+        """RL503 binds serve code only, and not the host loop."""
+        source = "try:\n    x = 1\nexcept ValueError:\n    x = 2\n"
+        in_scope = LintRunner().run_source(source, "src/repro/serve/app.py")
+        assert [f.code for f in in_scope if f.code == "RL503"] == ["RL503"]
+        for path in ("src/repro/core/pipeline.py", "src/repro/serve/server.py"):
+            findings = LintRunner().run_source(source, path)
+            assert not [f for f in findings if f.code == "RL503"]
 
 
 class TestProtocolRulesOnRealTree:

@@ -1,0 +1,246 @@
+"""HTTP-layer tests for the staleness query service.
+
+All requests go through :func:`repro.serve.call_app` — a synthetic WSGI
+environ and a captured ``start_response`` — so tier-1 never opens a
+socket. Covers status codes, JSON schemas, the one error model, /health,
+deterministic response ordering, and the request metrics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import names, parse_text, use_registry
+from repro.serve import FindingsIndex, call_app, create_app, warm_check
+
+
+@pytest.fixture(scope="module")
+def app(pipeline_result):
+    return create_app(FindingsIndex(pipeline_result))
+
+
+class TestEndpoints:
+    def test_health(self, app):
+        response = call_app(app, "/health")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "ok"
+        assert payload["index"]["findings"] == len(app.index)
+        assert set(payload["index"]) >= {"findings", "domains", "issuers", "classes"}
+
+    def test_domain_found(self, app):
+        name = app.index.domains()[0]
+        response = call_app(app, f"/v1/domains/{name}")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["domain"] == name
+        assert payload["exposed"] is True
+        for record in payload["findings"]:
+            assert set(record) >= {
+                "staleness_class", "issuer", "serial", "invalidation",
+                "staleness_days", "days_to_invalidation",
+            }
+
+    def test_domain_with_on_filter(self, app):
+        name = app.index.domains()[0]
+        response = call_app(app, f"/v1/domains/{name}", query="on=1990-01-01")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["on"] == "1990-01-01"
+        assert payload["exposed"] is False and payload["findings"] == []
+
+    @pytest.mark.parametrize("axis", ["class", "issuer", "year"])
+    def test_aggregates(self, app, axis):
+        response = call_app(app, "/v1/aggregates", query=f"by={axis}")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["by"] == axis
+        assert payload["rows"] == app.index.aggregates(axis)
+
+    def test_aggregates_default_axis_is_class(self, app):
+        assert call_app(app, "/v1/aggregates").json()["by"] == "class"
+
+    def test_survival_all_classes(self, app):
+        response = call_app(app, "/v1/survival")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["at"] == [90, 215]
+        assert [c["class"] for c in payload["classes"]] == [
+            cls.value for cls in app.index.survival_classes()
+        ]
+        for entry in payload["classes"]:
+            assert 0.0 <= entry["survival"]["90"] <= 1.0
+
+    def test_survival_one_class_custom_at(self, app):
+        cls = app.index.survival_classes()[0]
+        response = call_app(
+            app, "/v1/survival", query=f"class={cls.value}&at=30,300"
+        )
+        payload = response.json()
+        assert payload["at"] == [30, 300]
+        assert [c["class"] for c in payload["classes"]] == [cls.value]
+        assert payload["classes"][0] == app.index.survival(cls, (30, 300))
+
+    def test_caps_default_grid(self, app):
+        response = call_app(app, "/v1/whatif/caps")
+        assert response.status == 200
+        assert response.json()["caps"] == [45, 90, 215]
+
+    def test_caps_arbitrary_ballot_value(self, app):
+        payload = call_app(app, "/v1/whatif/caps", query="days=47").json()
+        assert payload["caps"] == [47]
+        assert all(row["cap_days"] == 47 for row in payload["classes"])
+
+
+class TestErrorModel:
+    def assert_error(self, response, status, code):
+        assert response.status == status
+        payload = response.json()
+        assert set(payload) == {"error"}
+        assert payload["error"]["status"] == status
+        assert payload["error"]["code"] == code
+        assert "Traceback" not in response.body.decode("utf-8")
+
+    def test_unknown_domain_404(self, app):
+        response = call_app(app, "/v1/domains/zzz-not-indexed.example")
+        self.assert_error(response, 404, "unknown_domain")
+
+    def test_invalid_domain_400(self, app):
+        response = call_app(app, "/v1/domains/bad..name")
+        self.assert_error(response, 400, "bad_domain")
+
+    def test_unknown_route_404(self, app):
+        self.assert_error(call_app(app, "/v1/nope"), 404, "unknown_route")
+        self.assert_error(call_app(app, "/v1/domains/"), 404, "unknown_route")
+
+    def test_bad_aggregate_axis_400(self, app):
+        response = call_app(app, "/v1/aggregates", query="by=volume")
+        self.assert_error(response, 400, "bad_query")
+
+    def test_bad_survival_class_400(self, app):
+        response = call_app(app, "/v1/survival", query="class=meltdown")
+        self.assert_error(response, 400, "bad_query")
+
+    def test_bad_caps_400(self, app):
+        for query in ("days=0", "days=abc", "days=", "days=999999"):
+            response = call_app(app, "/v1/whatif/caps", query=query)
+            self.assert_error(response, 400, "bad_query")
+
+    def test_bad_on_date_400(self, app):
+        name = app.index.domains()[0]
+        response = call_app(app, f"/v1/domains/{name}", query="on=not-a-date")
+        self.assert_error(response, 400, "bad_query")
+
+    def test_repeated_parameter_400(self, app):
+        response = call_app(app, "/v1/aggregates", query="by=class&by=issuer")
+        self.assert_error(response, 400, "bad_query")
+
+    def test_write_methods_405_with_allow(self, app):
+        for method in ("POST", "PUT", "DELETE"):
+            response = call_app(app, "/health", method=method)
+            self.assert_error(response, 405, "method_not_allowed")
+            assert response.headers["Allow"] == "GET, HEAD"
+
+    def test_unexpected_failure_is_clean_500(self, app, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("index melted")
+
+        monkeypatch.setattr(app.index, "aggregates", boom)
+        response = call_app(app, "/v1/aggregates")
+        self.assert_error(response, 500, "internal_error")
+        assert "index melted" not in response.body.decode("utf-8")
+
+
+class TestDeterminism:
+    def test_responses_are_byte_identical_across_calls(self, app):
+        name = app.index.domains()[0]
+        for path, query in (
+            ("/health", ""),
+            (f"/v1/domains/{name}", ""),
+            ("/v1/aggregates", "by=issuer"),
+            ("/v1/survival", ""),
+            ("/v1/whatif/caps", "days=45,90"),
+        ):
+            first = call_app(app, path, query=query)
+            second = call_app(app, path, query=query)
+            assert first.body == second.body
+            assert first.headers["Content-Length"] == str(len(first.body))
+
+    def test_bodies_use_sorted_keys(self, app):
+        body = call_app(app, "/v1/aggregates").body.decode("utf-8")
+        payload = json.loads(body)
+        assert body == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_head_returns_empty_body_with_full_headers(self, app):
+        get = call_app(app, "/health")
+        head = call_app(app, "/health", method="HEAD")
+        assert head.status == 200
+        assert head.body == b""
+        assert head.headers["Content-Length"] == get.headers["Content-Length"]
+
+    def test_content_type_is_json(self, app):
+        response = call_app(app, "/health")
+        assert response.headers["Content-Type"].startswith("application/json")
+
+
+class TestObservability:
+    def test_requests_counted_by_route_and_status(self, pipeline_result):
+        with use_registry() as registry:
+            app = create_app(FindingsIndex(pipeline_result))
+            call_app(app, "/health")
+            call_app(app, "/health")
+            call_app(app, "/v1/domains/zzz-not-indexed.example")
+            counter = registry.counter(
+                names.SERVE_REQUESTS, labels=("route", "status")
+            )
+            assert counter.value(route="/health", status="200") == 2
+            assert (
+                counter.value(route="/v1/domains/{domain}", status="404") == 1
+            )
+
+    def test_latency_histogram_uses_route_template(self, pipeline_result):
+        with use_registry() as registry:
+            app = create_app(FindingsIndex(pipeline_result))
+            name = app.index.domains()[0]
+            call_app(app, f"/v1/domains/{name}")
+            samples = parse_text(registry.render_text())
+            key = (
+                f"{names.SERVE_REQUEST_SECONDS}_count"
+                '{route="/v1/domains/{domain}"}'
+            )
+            assert samples[key] == 1
+            # The raw domain never becomes a label value.
+            assert not any(name in sample for sample in samples)
+
+    def test_index_gauges_set_at_build(self, pipeline_result):
+        with use_registry() as registry:
+            index = FindingsIndex(pipeline_result)
+            assert registry.gauge(names.SERVE_INDEX_FINDINGS).value() == len(index)
+
+
+class TestWarmCheck:
+    def test_warm_check_passes_on_seed_world(self, app):
+        report = warm_check(app)
+        assert report["ok"] is True
+        assert report["failures"] == 0
+        assert report["probes"] == len(report["checks"]) == 12
+        assert report["index"]["findings"] == len(app.index)
+
+    def test_warm_check_handles_empty_index(self):
+        from repro.core.pipeline import PipelineResult
+        from repro.core.stale import StaleFindings
+
+        app = create_app(FindingsIndex(PipelineResult(findings=StaleFindings())))
+        report = warm_check(app)
+        assert report["ok"] is True
+
+    def test_warm_check_reports_failures(self, app, monkeypatch):
+        def broken(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(app.index, "aggregates", broken)
+        report = warm_check(app)
+        assert report["ok"] is False
+        assert report["failures"] >= 1
