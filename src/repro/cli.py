@@ -5,6 +5,8 @@ Drives the full reproduction from a shell::
     python -m repro simulate  --scale 0.1
     python -m repro detect    --scale 0.1 --format json
     python -m repro detect    --scale 0.1 --workers 4 --bundle /tmp/bundle
+    python -m repro save      --scale 0.1 --dir /tmp/bundle [--layout legacy]
+    python -m repro bundle convert /tmp/legacy /tmp/columnar --check
     python -m repro lifetime  --scale 0.1 --caps 45,90,215
     python -m repro report    --scale 0.1 --experiment fig6
     python -m repro advise shinyforge1.com --acquired 2020-06-01 --scale 0.1
@@ -140,6 +142,32 @@ def build_parser() -> argparse.ArgumentParser:
         "save", parents=[common], help="simulate a world and persist its dataset bundle"
     )
     save.add_argument("--dir", required=True, help="output directory")
+    save.add_argument(
+        "--layout", choices=("columnar", "legacy"), default="columnar",
+        help="bundle layout: columnar memory-mapped segments (default) or "
+        "the legacy JSONL dict format",
+    )
+
+    bundle_cmd = sub.add_parser(
+        "bundle", help="bundle maintenance (layout conversion)"
+    )
+    bundle_sub = bundle_cmd.add_subparsers(dest="bundle_command", required=True)
+    bundle_convert = bundle_sub.add_parser(
+        "convert",
+        help="rewrite a bundle directory into another layout "
+        "(auto-detects the source layout)",
+    )
+    bundle_convert.add_argument("src", help="source bundle directory")
+    bundle_convert.add_argument("dst", help="destination directory")
+    bundle_convert.add_argument(
+        "--to", choices=("columnar", "legacy"), default="columnar",
+        help="target layout (default columnar)",
+    )
+    bundle_convert.add_argument(
+        "--check", action="store_true",
+        help="after converting, re-open both directories and verify they "
+        "are object-for-object equivalent (exit 1 on mismatch)",
+    )
 
     lifetime = sub.add_parser(
         "lifetime", parents=[common, data, obsopts],
@@ -172,6 +200,12 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common, obsopts],
         help="replay the world as a day-by-day event stream, emitting "
         "advisories live (streaming equivalent of 'detect')",
+    )
+    watch.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help="dataset bundle directory (columnar or legacy, auto-detected): "
+        "replayed when it exists, otherwise the simulated world is saved "
+        "there first",
     )
     watch.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
@@ -300,6 +334,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class BundleCliError(ValueError):
+    """A --bundle directory exists but cannot be opened.
+
+    ``ValueError`` so handlers that already catch the bundle error family
+    (e.g. ``serve``) keep working; ``main`` maps it to exit code 2 for the
+    subcommands that let it propagate.
+    """
+
+
 def _world(args):
     print(f"simulating world (seed={args.seed}, scale={args.scale}) ...", file=sys.stderr)
     return simulate_world(WorldConfig(seed=args.seed).scaled(args.scale))
@@ -308,26 +351,29 @@ def _world(args):
 def _bundle_and_cutoff(args):
     """The one dataset loader every pipeline-running subcommand shares.
 
-    With ``--bundle DIR``: load the bundle if one is saved there, otherwise
-    simulate the world and save its bundle to DIR (so the next invocation
-    skips re-simulation). Without it: simulate, as before.
+    With ``--bundle DIR``: open the bundle if one is saved there — the
+    layout (columnar segments vs. legacy JSONL) is auto-detected from the
+    directory contents — otherwise simulate the world and save its bundle
+    there in the columnar layout (so the next invocation skips
+    re-simulation). Without it: simulate, as before.
     """
-    import os
+    from repro.data import detect_layout, open_bundle, write_dataset
 
     bundle_dir = getattr(args, "bundle", None)
-    if bundle_dir and os.path.exists(os.path.join(bundle_dir, "manifest.json")):
-        from repro.ecosystem.persistence import load_bundle
+    if bundle_dir and detect_layout(bundle_dir) is not None:
         from repro.ecosystem.timeline import DEFAULT_TIMELINE
 
-        print(f"loading bundle from {bundle_dir} ...", file=sys.stderr)
-        return load_bundle(bundle_dir), DEFAULT_TIMELINE.revocation_cutoff
+        layout = detect_layout(bundle_dir)
+        print(f"loading bundle ({layout}) from {bundle_dir} ...", file=sys.stderr)
+        try:
+            return open_bundle(bundle_dir), DEFAULT_TIMELINE.revocation_cutoff
+        except (OSError, ValueError) as error:
+            raise BundleCliError(f"cannot open bundle {bundle_dir}: {error}") from error
     world = _world(args)
     bundle = world.to_bundle()
     if bundle_dir:
-        from repro.ecosystem.persistence import save_bundle
-
-        save_bundle(bundle, bundle_dir)
-        print(f"saved bundle to {bundle_dir}", file=sys.stderr)
+        write_dataset(bundle, bundle_dir)
+        print(f"saved bundle (columnar) to {bundle_dir}", file=sys.stderr)
     return bundle, world.config.timeline.revocation_cutoff
 
 
@@ -410,12 +456,48 @@ def cmd_detect(args) -> int:
 
 
 def cmd_save(args) -> int:
-    from repro.ecosystem.persistence import save_bundle
+    from repro.data import save_legacy_bundle, write_dataset
 
     world = _world(args)
-    counts = save_bundle(world.to_bundle(), args.dir)
+    bundle = world.to_bundle()
+    if args.layout == "legacy":
+        counts = save_legacy_bundle(bundle, args.dir)
+        columns = ["File", "Records"]
+    else:
+        counts = write_dataset(bundle, args.dir)
+        columns = ["Table", "Rows"]
     rows = sorted(counts.items())
-    print(render_table(["File", "Records"], rows, title=f"Bundle saved to {args.dir}"))
+    print(
+        render_table(
+            columns, rows, title=f"Bundle saved to {args.dir} ({args.layout})"
+        )
+    )
+    return 0
+
+
+def cmd_bundle(args) -> int:
+    """Bundle maintenance: currently ``bundle convert SRC DST``."""
+    from repro.data import check_equivalent, convert
+
+    try:
+        counts = convert(args.src, args.dst, layout=args.to)
+        print(
+            render_table(
+                ["Table", "Records"],
+                sorted(counts.items()),
+                title=f"Converted {args.src} -> {args.dst} ({args.to})",
+            )
+        )
+        if args.check:
+            problems = check_equivalent(args.src, args.dst)
+            if problems:
+                for problem in problems:
+                    print(f"MISMATCH: {problem}", file=sys.stderr)
+                return 1
+            print("round-trip check: bundles are equivalent")
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -580,9 +662,7 @@ def cmd_watch(args) -> int:
         verify_equivalence,
     )
 
-    world = _world(args)
-    bundle = world.to_bundle()
-    cutoff = world.config.timeline.revocation_cutoff
+    bundle, cutoff = _bundle_and_cutoff(args)
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
     if args.resume and store is None:
         print(
@@ -591,7 +671,7 @@ def cmd_watch(args) -> int:
             file=sys.stderr,
         )
     live = not _wants_json(args)
-    advisor = StaleCertificateAdvisor(world.corpus) if live else None
+    advisor = StaleCertificateAdvisor(bundle.corpus) if live else None
 
     def on_finding(event):
         if not live:
@@ -935,6 +1015,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "detect": cmd_detect,
         "save": cmd_save,
+        "bundle": cmd_bundle,
         "lifetime": cmd_lifetime,
         "report": cmd_report,
         "advise": cmd_advise,
@@ -976,6 +1057,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             try:
                 with span("cli_command", command=args.command):
                     code = handlers[args.command](args)
+            except BundleCliError as error:
+                print(f"error: {error}", file=sys.stderr)
+                code = 2
             except BaseException:
                 failed = True
                 raise

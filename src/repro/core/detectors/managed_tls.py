@@ -143,13 +143,26 @@ class ManagedTlsDetector:
         self._managed_by_domain: Optional[Dict[str, List[Certificate]]] = None
         self.stats = DepartureJoinStats()
 
+    def _managed(self) -> "Iterable[Certificate]":
+        """The managed certificates, in corpus order.
+
+        Columnar corpora serve these from their precomputed managed-row
+        index; plain corpora scan and filter. Both paths re-check the
+        marker-SAN predicate so the semantics stay in one place.
+        """
+        indexed = getattr(self._corpus, "managed_certificates", None)
+        source = indexed() if indexed is not None else self._corpus.certificates()
+        return (
+            certificate
+            for certificate in source
+            if is_cloudflare_managed_certificate(certificate)
+        )
+
     def _index(self) -> Dict[str, List[Certificate]]:
         """Customer domain -> Cloudflare-managed certificates covering it."""
         if self._managed_by_domain is None:
             index: Dict[str, List[Certificate]] = {}
-            for certificate in self._corpus.certificates():
-                if not is_cloudflare_managed_certificate(certificate):
-                    continue
+            for certificate in self._managed():
                 for san in certificate.fqdns():
                     if san.endswith("." + CLOUDFLARE_MANAGED_SAN_SUFFIX):
                         continue  # the CDN's own marker SAN

@@ -88,6 +88,18 @@ class RegistrantChangeDetector:
             self._certs_by_e2ld = index
         return self._certs_by_e2ld
 
+    def _candidates(self, lookup: str) -> Sequence[Certificate]:
+        """Certificates joining *lookup*, in corpus order.
+
+        Columnar corpora answer this from their sorted e2LD index without
+        hydrating the rest of the corpus; plain corpora fall back to the
+        one-shot full index build.
+        """
+        indexed = getattr(self._corpus, "certificates_for_e2ld", None)
+        if indexed is not None:
+            return indexed(lookup)
+        return self._index().get(lookup, ())
+
     def detect(
         self,
         creation_pairs: Iterable[Tuple[str, Day]],
@@ -96,13 +108,12 @@ class RegistrantChangeDetector:
         """Run the full pipeline from raw creation pairs."""
         out = findings if findings is not None else StaleFindings()
         events = find_re_registrations(creation_pairs, self._tlds)
-        index = self._index()
         self.stats = RegistrantJoinStats(re_registration_events=len(events))
         emitted = set()
         for event in events:
             registrable = e2ld(event.domain)
             lookup = registrable if registrable is not None else event.domain
-            candidates = index.get(lookup, ())
+            candidates = self._candidates(lookup)
             if candidates:
                 self.stats.events_joining_certificates += 1
             for certificate in candidates:  # candidates by e2LD

@@ -1,0 +1,45 @@
+"""``repro.data`` — the columnar bundle data plane.
+
+One API for every engine that consumes a saved
+:class:`~repro.core.pipeline.DatasetBundle`:
+
+* :func:`open_bundle` — open a bundle directory in whichever layout it
+  uses (columnar segments or the legacy JSONL dict format);
+* :class:`Dataset` — typed table handles (``certs`` / ``revocations`` /
+  ``whois`` / ``dns``) with ``scan()``, ``lookup()``,
+  ``interval_query()`` over memory-mapped columnar segments;
+* :func:`write_dataset` — persist a bundle as columnar segments;
+* :func:`convert` / :func:`check_equivalent` — migrate between layouts
+  with a round-trip equality check;
+* :func:`save_legacy_bundle` / :func:`load_legacy_bundle` — the legacy
+  layout, kept for compatibility (direct use outside this package is
+  flagged by lint rule RL601).
+"""
+
+from repro.data.convert import check_equivalent, convert
+from repro.data.dataset import (
+    DATASET_MANIFEST,
+    DEFAULT_ROWS_PER_SEGMENT,
+    Dataset,
+    detect_layout,
+    open_bundle,
+    write_dataset,
+)
+from repro.data.legacy import load_legacy_bundle, save_legacy_bundle
+from repro.data.segment import Segment, SegmentFormatError, SegmentWriter
+
+__all__ = [
+    "DATASET_MANIFEST",
+    "DEFAULT_ROWS_PER_SEGMENT",
+    "Dataset",
+    "Segment",
+    "SegmentFormatError",
+    "SegmentWriter",
+    "check_equivalent",
+    "convert",
+    "detect_layout",
+    "load_legacy_bundle",
+    "open_bundle",
+    "save_legacy_bundle",
+    "write_dataset",
+]

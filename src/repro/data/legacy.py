@@ -1,0 +1,176 @@
+"""The legacy JSONL bundle layout (reader/writer, no deprecation noise).
+
+This is the dict-shaped, gzipped-JSONL format ``repro.ecosystem.persistence``
+historically wrote. The logic lives here verbatim so the columnar plane's
+converter and the compatibility shim share one implementation; new code
+should go through :func:`repro.data.open_bundle`, which dispatches on the
+on-disk layout, rather than call these directly (lint rule RL601 flags
+direct use outside this package).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.core.pipeline import DatasetBundle
+from repro.core.stale import StalenessClass
+from repro.ct.dedup import CertificateCorpus
+from repro.dns.records import RecordType
+from repro.dns.snapshots import DailySnapshot, DomainObservation, SnapshotStore
+from repro.pki.certificate import Certificate
+from repro.revocation.crl import CertificateRevocationList, CrlEntry
+from repro.revocation.reasons import RevocationReason
+from repro.util.storage import dump_jsonl, load_jsonl
+
+LEGACY_CORPUS = "corpus.jsonl.gz"
+LEGACY_REVOCATIONS = "revocations.jsonl.gz"
+LEGACY_WHOIS = "whois_pairs.jsonl.gz"
+LEGACY_SNAPSHOTS = "dns_snapshots.jsonl.gz"
+LEGACY_MANIFEST = "manifest.json"
+
+
+def save_legacy_bundle(bundle: DatasetBundle, directory: str) -> Dict[str, int]:
+    """Persist a bundle in the legacy layout; returns per-file counts."""
+    os.makedirs(directory, exist_ok=True)
+    counts: Dict[str, int] = {}
+
+    counts[LEGACY_CORPUS] = dump_jsonl(
+        os.path.join(directory, LEGACY_CORPUS),
+        (certificate.to_record() for certificate in bundle.corpus.certificates()),
+    )
+
+    # CRL series collapse to one merged entry set; issuer names are kept so
+    # synthetic per-issuer CRLs can be rebuilt on load.
+    def _revocation_records():
+        for crl in bundle.crls:
+            for entry in crl.entries:
+                yield {
+                    "issuer_name": crl.issuer_name,
+                    "authority_key_id": crl.authority_key_id,
+                    "serial": entry.serial,
+                    "revocation_day": entry.revocation_day,
+                    "reason": entry.reason.name,
+                }
+
+    seen: set = set()
+
+    def _deduped():
+        for record in _revocation_records():
+            key = (record["authority_key_id"], record["serial"])
+            if key in seen:
+                continue
+            seen.add(key)
+            yield record
+
+    counts[LEGACY_REVOCATIONS] = dump_jsonl(
+        os.path.join(directory, LEGACY_REVOCATIONS), _deduped()
+    )
+
+    counts[LEGACY_WHOIS] = dump_jsonl(
+        os.path.join(directory, LEGACY_WHOIS),
+        (
+            {"domain": domain, "creation_day": day}
+            for domain, day in bundle.whois_creation_pairs
+        ),
+    )
+
+    def _snapshot_records():
+        if bundle.dns_snapshots is None:
+            return
+        for scan_day in bundle.dns_snapshots.days():
+            snapshot = bundle.dns_snapshots.get(scan_day)
+            for apex in sorted(snapshot.apexes()):
+                observation = snapshot.get(apex)
+                yield {
+                    "day": scan_day,
+                    "apex": apex,
+                    "records": {k: sorted(v) for k, v in observation.rdatas.items()},
+                }
+
+    counts[LEGACY_SNAPSHOTS] = dump_jsonl(
+        os.path.join(directory, LEGACY_SNAPSHOTS), _snapshot_records()
+    )
+
+    manifest = {
+        "windows": {
+            cls.value: list(window) for cls, window in bundle.windows.items()
+        },
+        "files": counts,
+    }
+    with open(
+        os.path.join(directory, LEGACY_MANIFEST), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return counts
+
+
+def load_legacy_bundle(directory: str) -> DatasetBundle:
+    """Rebuild a :class:`DatasetBundle` saved by :func:`save_legacy_bundle`."""
+    manifest_path = os.path.join(directory, LEGACY_MANIFEST)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    corpus = CertificateCorpus()
+    corpus.ingest(
+        Certificate.from_record(record)
+        for record in load_jsonl(os.path.join(directory, LEGACY_CORPUS))
+    )
+
+    by_issuer: Dict[Tuple[str, str], List[CrlEntry]] = {}
+    first_day = None
+    last_day = None
+    for record in load_jsonl(os.path.join(directory, LEGACY_REVOCATIONS)):
+        key = (record["issuer_name"], record["authority_key_id"])
+        entry = CrlEntry(
+            serial=record["serial"],
+            revocation_day=record["revocation_day"],
+            reason=RevocationReason[record["reason"]],
+        )
+        by_issuer.setdefault(key, []).append(entry)
+        if first_day is None or entry.revocation_day < first_day:
+            first_day = entry.revocation_day
+        if last_day is None or entry.revocation_day > last_day:
+            last_day = entry.revocation_day
+    crls: List[CertificateRevocationList] = []
+    for (issuer_name, akid), entries in sorted(by_issuer.items()):
+        crl = CertificateRevocationList(
+            issuer_name=issuer_name,
+            authority_key_id=akid,
+            this_update=last_day if last_day is not None else 0,
+            next_update=(last_day if last_day is not None else 0) + 7,
+            crl_number=1,
+        )
+        crl.entries.extend(entries)
+        crls.append(crl)
+
+    pairs = [
+        (record["domain"], record["creation_day"])
+        for record in load_jsonl(os.path.join(directory, LEGACY_WHOIS))
+    ]
+
+    store = SnapshotStore()
+    snapshots: Dict[int, DailySnapshot] = {}
+    for record in load_jsonl(os.path.join(directory, LEGACY_SNAPSHOTS)):
+        snapshot = snapshots.get(record["day"])
+        if snapshot is None:
+            snapshot = DailySnapshot(record["day"])
+            snapshots[record["day"]] = snapshot
+            store.put(snapshot)
+        observation = DomainObservation(record["apex"])
+        for rtype_value, values in record["records"].items():
+            observation.set(RecordType(rtype_value), values)
+        snapshot._observations[record["apex"]] = observation
+
+    windows = {
+        StalenessClass(name): (window[0], window[1])
+        for name, window in manifest.get("windows", {}).items()
+    }
+    return DatasetBundle(
+        corpus=corpus,
+        crls=crls,
+        whois_creation_pairs=pairs,
+        dns_snapshots=store if len(store) else None,
+        windows=windows,
+    )

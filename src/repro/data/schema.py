@@ -1,0 +1,175 @@
+"""Table schemas: how bundle objects map onto columnar segments.
+
+One schema per dataset of paper Table 3 — certificates, revocation
+entries, WHOIS creation pairs, DNS snapshot observations. Each schema
+declares its column kinds (``i64`` / ``str`` / ``json``), the interval
+columns its day-range queries sweep, and the row↔object codecs the
+:class:`~repro.data.dataset.Dataset` tables use for hydration.
+
+Hydration goes through the same constructors
+(:class:`~repro.pki.certificate.Certificate`,
+:class:`~repro.revocation.crl.CrlEntry`, ...) the legacy JSONL loader
+uses, so a certificate read from a segment is value-identical — same
+dedup fingerprint, same normalization — to one read from
+``corpus.jsonl.gz``.
+
+The certificates table carries one *derived* column, ``e2lds`` (the
+sorted registered-domain list per certificate), so the shard
+partitioner and the e2LD secondary index never have to hydrate a
+``Certificate`` just to learn its routing keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.pki.certificate import Certificate, ExtendedKeyUsage, KeyUsage
+from repro.pki.keys import KeyAlgorithm, KeyPair
+from repro.revocation.crl import CrlEntry
+from repro.revocation.reasons import RevocationReason
+
+CERTS_TABLE = "certs"
+REVOCATIONS_TABLE = "revocations"
+WHOIS_TABLE = "whois"
+DNS_TABLE = "dns"
+
+TABLE_NAMES = (CERTS_TABLE, REVOCATIONS_TABLE, WHOIS_TABLE, DNS_TABLE)
+
+#: (start column, end column) swept by each table's ``interval_query``.
+INTERVAL_COLUMNS: Dict[str, Tuple[str, str]] = {
+    CERTS_TABLE: ("not_before", "not_after"),
+    REVOCATIONS_TABLE: ("revocation_day", "revocation_day"),
+    WHOIS_TABLE: ("creation_day", "creation_day"),
+    DNS_TABLE: ("day", "day"),
+}
+
+#: column name -> kind, per table, in written order.
+COLUMNS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    CERTS_TABLE: (
+        ("subject_cn", "str"),
+        ("san_dns_names", "json"),
+        ("key_id", "i64"),
+        ("key_algorithm", "str"),
+        ("key_owner_id", "str"),
+        ("is_ca", "i64"),
+        ("key_usage", "i64"),
+        ("extended_key_usage", "json"),
+        ("issuer_name", "str"),
+        ("authority_key_id", "str"),
+        ("crl_url", "json"),
+        ("ocsp_url", "json"),
+        ("certificate_policy", "str"),
+        ("serial", "i64"),
+        ("is_precertificate", "i64"),
+        ("scts", "json"),
+        ("not_before", "i64"),
+        ("not_after", "i64"),
+        ("e2lds", "json"),  # derived: sorted registered domains
+    ),
+    REVOCATIONS_TABLE: (
+        ("issuer_name", "str"),
+        ("authority_key_id", "str"),
+        ("serial", "i64"),
+        ("revocation_day", "i64"),
+        ("reason", "str"),
+    ),
+    WHOIS_TABLE: (
+        ("domain", "str"),
+        ("creation_day", "i64"),
+    ),
+    DNS_TABLE: (
+        ("day", "i64"),
+        ("apex", "str"),
+        ("records", "json"),  # record-type value -> sorted rdata list
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# certificates
+# ---------------------------------------------------------------------------
+
+
+def certificate_column_values(
+    certificates: Sequence[Certificate],
+) -> Dict[str, List[Any]]:
+    """Struct-of-arrays projection of *certificates*, in COLUMNS order."""
+    values: Dict[str, List[Any]] = {name: [] for name, _ in COLUMNS[CERTS_TABLE]}
+    for certificate in certificates:
+        values["subject_cn"].append(certificate.subject_cn)
+        values["san_dns_names"].append(list(certificate.san_dns_names))
+        values["key_id"].append(certificate.subject_key.key_id)
+        values["key_algorithm"].append(certificate.subject_key.algorithm.value)
+        values["key_owner_id"].append(certificate.subject_key.owner_id)
+        values["is_ca"].append(int(certificate.is_ca))
+        values["key_usage"].append(certificate.key_usage.value)
+        values["extended_key_usage"].append(
+            [e.value for e in certificate.extended_key_usage]
+        )
+        values["issuer_name"].append(certificate.issuer_name)
+        values["authority_key_id"].append(certificate.authority_key_id)
+        values["crl_url"].append(certificate.crl_url)
+        values["ocsp_url"].append(certificate.ocsp_url)
+        values["certificate_policy"].append(certificate.certificate_policy)
+        values["serial"].append(certificate.serial)
+        values["is_precertificate"].append(int(certificate.is_precertificate))
+        values["scts"].append(list(certificate.scts))
+        values["not_before"].append(certificate.not_before)
+        values["not_after"].append(certificate.not_after)
+        values["e2lds"].append(sorted(certificate.e2lds()))
+    return values
+
+
+def certificate_at(columns: Mapping[str, Sequence], row: int) -> Certificate:
+    """Hydrate one certificate from column views (lazy cell reads only)."""
+    key = KeyPair(
+        key_id=columns["key_id"][row],
+        algorithm=KeyAlgorithm(columns["key_algorithm"][row]),
+        owner_id=columns["key_owner_id"][row],
+    )
+    return Certificate(
+        subject_cn=columns["subject_cn"][row],
+        san_dns_names=tuple(columns["san_dns_names"][row]),
+        subject_key=key,
+        is_ca=bool(columns["is_ca"][row]),
+        key_usage=KeyUsage(columns["key_usage"][row]),
+        extended_key_usage=tuple(
+            ExtendedKeyUsage(value) for value in columns["extended_key_usage"][row]
+        ),
+        issuer_name=columns["issuer_name"][row],
+        authority_key_id=columns["authority_key_id"][row],
+        crl_url=columns["crl_url"][row],
+        ocsp_url=columns["ocsp_url"][row],
+        certificate_policy=columns["certificate_policy"][row],
+        serial=columns["serial"][row],
+        is_precertificate=bool(columns["is_precertificate"][row]),
+        scts=tuple(columns["scts"][row]),
+        not_before=columns["not_before"][row],
+        not_after=columns["not_after"][row],
+    )
+
+
+# ---------------------------------------------------------------------------
+# revocations
+# ---------------------------------------------------------------------------
+
+
+def revocation_column_values(
+    rows: Sequence[Tuple[str, str, int, int, str]],
+) -> Dict[str, List[Any]]:
+    """Columns from (issuer, akid, serial, day, reason-name) tuples."""
+    return {
+        "issuer_name": [row[0] for row in rows],
+        "authority_key_id": [row[1] for row in rows],
+        "serial": [row[2] for row in rows],
+        "revocation_day": [row[3] for row in rows],
+        "reason": [row[4] for row in rows],
+    }
+
+
+def revocation_entry_at(columns: Mapping[str, Sequence], row: int) -> CrlEntry:
+    return CrlEntry(
+        serial=columns["serial"][row],
+        revocation_day=columns["revocation_day"][row],
+        reason=RevocationReason[columns["reason"][row]],
+    )

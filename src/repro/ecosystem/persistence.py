@@ -1,172 +1,49 @@
-"""Dataset-bundle persistence.
+"""Dataset-bundle persistence — deprecated compatibility shim.
 
-Longitudinal measurement pipelines collect for months and analyze many
-times; re-simulating (or re-collecting) for every analysis run is wasteful.
-This module saves everything the measurement pipeline consumes — the
-deduplicated corpus, CRL revocation entries, WHOIS creation pairs, DNS
-delegation snapshots, and the per-class observation windows — to a
-directory of JSONL files, and loads it back into a ready-to-run
-:class:`~repro.core.pipeline.DatasetBundle`.
+The bundle data plane moved to :mod:`repro.data`, which adds a columnar
+memory-mapped layout behind one ``Dataset`` access API and keeps this
+module's JSONL dict layout readable. These wrappers delegate to
+:mod:`repro.data.legacy` and warn; they will be removed once nothing
+imports them.
+
+Migration:
+
+* ``load_bundle(directory)`` → :func:`repro.data.open_bundle` (reads
+  either layout, returns the same duck-typed bundle);
+* ``save_bundle(bundle, directory)`` → :func:`repro.data.write_dataset`
+  (columnar) or :func:`repro.data.save_legacy_bundle` (old layout);
+* converting existing directories: ``python -m repro bundle convert``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from typing import Dict, List, Tuple
+import warnings
+from typing import Dict
 
 from repro.core.pipeline import DatasetBundle
-from repro.core.stale import StalenessClass
-from repro.ct.dedup import CertificateCorpus
-from repro.dns.records import RecordType
-from repro.dns.snapshots import DailySnapshot, DomainObservation, SnapshotStore
-from repro.pki.certificate import Certificate
-from repro.revocation.crl import CertificateRevocationList, CrlEntry
-from repro.revocation.reasons import RevocationReason
-from repro.util.storage import dump_jsonl, load_jsonl
+from repro.data.legacy import load_legacy_bundle, save_legacy_bundle
 
-_CORPUS = "corpus.jsonl.gz"
-_REVOCATIONS = "revocations.jsonl.gz"
-_WHOIS = "whois_pairs.jsonl.gz"
-_SNAPSHOTS = "dns_snapshots.jsonl.gz"
-_MANIFEST = "manifest.json"
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.ecosystem.persistence.{old} is deprecated; use {new} "
+        "(see repro.data)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def save_bundle(bundle: DatasetBundle, directory: str) -> Dict[str, int]:
-    """Persist a bundle; returns per-file record counts."""
-    os.makedirs(directory, exist_ok=True)
-    counts: Dict[str, int] = {}
-
-    counts[_CORPUS] = dump_jsonl(
-        os.path.join(directory, _CORPUS),
-        (certificate.to_record() for certificate in bundle.corpus.certificates()),
+    """Deprecated: use :func:`repro.data.write_dataset` (columnar) or
+    :func:`repro.data.save_legacy_bundle`."""
+    _deprecated(
+        "save_bundle",
+        "repro.data.write_dataset or repro.data.save_legacy_bundle",
     )
-
-    # CRL series collapse to one merged entry set; issuer names are kept so
-    # synthetic per-issuer CRLs can be rebuilt on load.
-    def _revocation_records():
-        for crl in bundle.crls:
-            for entry in crl.entries:
-                yield {
-                    "issuer_name": crl.issuer_name,
-                    "authority_key_id": crl.authority_key_id,
-                    "serial": entry.serial,
-                    "revocation_day": entry.revocation_day,
-                    "reason": entry.reason.name,
-                }
-
-    seen: set = set()
-
-    def _deduped():
-        for record in _revocation_records():
-            key = (record["authority_key_id"], record["serial"])
-            if key in seen:
-                continue
-            seen.add(key)
-            yield record
-
-    counts[_REVOCATIONS] = dump_jsonl(
-        os.path.join(directory, _REVOCATIONS), _deduped()
-    )
-
-    counts[_WHOIS] = dump_jsonl(
-        os.path.join(directory, _WHOIS),
-        ({"domain": domain, "creation_day": day} for domain, day in bundle.whois_creation_pairs),
-    )
-
-    def _snapshot_records():
-        if bundle.dns_snapshots is None:
-            return
-        for scan_day in bundle.dns_snapshots.days():
-            snapshot = bundle.dns_snapshots.get(scan_day)
-            for apex in sorted(snapshot.apexes()):
-                observation = snapshot.get(apex)
-                yield {
-                    "day": scan_day,
-                    "apex": apex,
-                    "records": {k: sorted(v) for k, v in observation.rdatas.items()},
-                }
-
-    counts[_SNAPSHOTS] = dump_jsonl(
-        os.path.join(directory, _SNAPSHOTS), _snapshot_records()
-    )
-
-    manifest = {
-        "windows": {
-            cls.value: list(window) for cls, window in bundle.windows.items()
-        },
-        "files": counts,
-    }
-    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-    return counts
+    return save_legacy_bundle(bundle, directory)
 
 
 def load_bundle(directory: str) -> DatasetBundle:
-    """Rebuild a :class:`DatasetBundle` saved by :func:`save_bundle`."""
-    manifest_path = os.path.join(directory, _MANIFEST)
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-
-    corpus = CertificateCorpus()
-    corpus.ingest(
-        Certificate.from_record(record)
-        for record in load_jsonl(os.path.join(directory, _CORPUS))
-    )
-
-    by_issuer: Dict[Tuple[str, str], List[CrlEntry]] = {}
-    first_day = None
-    last_day = None
-    for record in load_jsonl(os.path.join(directory, _REVOCATIONS)):
-        key = (record["issuer_name"], record["authority_key_id"])
-        entry = CrlEntry(
-            serial=record["serial"],
-            revocation_day=record["revocation_day"],
-            reason=RevocationReason[record["reason"]],
-        )
-        by_issuer.setdefault(key, []).append(entry)
-        if first_day is None or entry.revocation_day < first_day:
-            first_day = entry.revocation_day
-        if last_day is None or entry.revocation_day > last_day:
-            last_day = entry.revocation_day
-    crls: List[CertificateRevocationList] = []
-    for (issuer_name, akid), entries in sorted(by_issuer.items()):
-        crl = CertificateRevocationList(
-            issuer_name=issuer_name,
-            authority_key_id=akid,
-            this_update=last_day if last_day is not None else 0,
-            next_update=(last_day if last_day is not None else 0) + 7,
-            crl_number=1,
-        )
-        crl.entries.extend(entries)
-        crls.append(crl)
-
-    pairs = [
-        (record["domain"], record["creation_day"])
-        for record in load_jsonl(os.path.join(directory, _WHOIS))
-    ]
-
-    store = SnapshotStore()
-    snapshots: Dict[int, DailySnapshot] = {}
-    for record in load_jsonl(os.path.join(directory, _SNAPSHOTS)):
-        snapshot = snapshots.get(record["day"])
-        if snapshot is None:
-            snapshot = DailySnapshot(record["day"])
-            snapshots[record["day"]] = snapshot
-            store.put(snapshot)
-        observation = DomainObservation(record["apex"])
-        for rtype_value, values in record["records"].items():
-            observation.set(RecordType(rtype_value), values)
-        snapshot._observations[record["apex"]] = observation
-
-    windows = {
-        StalenessClass(name): (window[0], window[1])
-        for name, window in manifest.get("windows", {}).items()
-    }
-    return DatasetBundle(
-        corpus=corpus,
-        crls=crls,
-        whois_creation_pairs=pairs,
-        dns_snapshots=store if len(store) else None,
-        windows=windows,
-    )
+    """Deprecated: use :func:`repro.data.open_bundle`."""
+    _deprecated("load_bundle", "repro.data.open_bundle")
+    return load_legacy_bundle(directory)

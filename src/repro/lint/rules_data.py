@@ -1,0 +1,115 @@
+"""Bundle data-plane hygiene: RL601 — bundle I/O goes through repro.data.
+
+The bundle data plane has one front door, :mod:`repro.data`
+(``Dataset.open`` / ``open_bundle`` / ``write_dataset``), which reads
+both the columnar layout and the legacy JSONL dict layout. Code that
+imports the deprecated ``repro.ecosystem.persistence`` shim, or
+hardcodes a legacy bundle filename like ``corpus.jsonl.gz``, bypasses
+the layout detection — it silently breaks the moment a directory holds
+columnar segments, and it pins the on-disk dict format the deprecation
+path exists to retire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import FileContext, ImportMap, Rule, register
+from repro.lint.findings import Finding
+
+#: The deprecated shim module; only repro.data may sit behind it.
+LEGACY_MODULE = "repro.ecosystem.persistence"
+LEGACY_FUNCS = ("load_bundle", "save_bundle")
+
+#: On-disk names of the legacy JSONL layout. Declared (once) in
+#: repro/data/legacy.py; a literal anywhere else re-encodes the layout.
+LEGACY_FILENAMES = (
+    "corpus.jsonl.gz",
+    "revocations.jsonl.gz",
+    "whois_pairs.jsonl.gz",
+    "dns_snapshots.jsonl.gz",
+)
+
+
+@register
+class LegacyBundleAccessRule(Rule):
+    """RL601: route bundle reads/writes through the repro.data API."""
+
+    code = "RL601"
+    name = "legacy-bundle-access"
+    rationale = (
+        "Bundle directories now come in two layouts (columnar segments "
+        "and legacy JSONL); repro.data.open_bundle detects which one it "
+        "is looking at. Importing the deprecated "
+        "repro.ecosystem.persistence shim or hardcoding a legacy "
+        "filename skips that detection, so the caller breaks on "
+        "columnar bundles and keeps the retired dict layout alive."
+    )
+    scope = ("src/repro/",)
+    #: repro.data owns both layouts; the shim module is the one
+    #: sanctioned importer of the legacy reader/writer; this module
+    #: necessarily spells the forbidden filenames to recognize them.
+    exclude = (
+        "src/repro/data/",
+        "src/repro/ecosystem/persistence.py",
+        "src/repro/lint/rules_data.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        qualified = {f"{LEGACY_MODULE}.{func}" for func in LEGACY_FUNCS}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == LEGACY_MODULE or alias.name.startswith(
+                        LEGACY_MODULE + "."
+                    ):
+                        yield self._import_finding(ctx, node)
+                        break
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                resolved = {
+                    f"{node.module}.{alias.name}"
+                    for alias in node.names
+                    if node.module and alias.name != "*"
+                }
+                if node.module == LEGACY_MODULE or any(
+                    name == LEGACY_MODULE or name in qualified
+                    for name in resolved
+                ):
+                    yield self._import_finding(ctx, node)
+            elif isinstance(node, ast.Call):
+                resolved_call = imports.resolve_call(node)
+                if resolved_call in qualified:
+                    func = resolved_call.rsplit(".", 1)[1]
+                    replacement = (
+                        "repro.data.open_bundle"
+                        if func == "load_bundle"
+                        else "repro.data.write_dataset"
+                    )
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to deprecated {resolved_call}; use "
+                        f"{replacement} (reads/writes both layouts)",
+                    )
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in LEGACY_FILENAMES
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"hardcoded legacy bundle filename {node.value!r}; the "
+                    "layout belongs to repro.data.legacy — open the "
+                    "directory with repro.data.open_bundle instead",
+                )
+
+    def _import_finding(self, ctx: FileContext, node: ast.AST) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            f"import of deprecated {LEGACY_MODULE}; use repro.data "
+            "(open_bundle/write_dataset handle both bundle layouts)",
+        )

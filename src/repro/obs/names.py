@@ -68,6 +68,16 @@ SERVE_INDEX_FINDINGS_HELP = "Findings held by the serving index."
 SERVE_INDEX_BUILD_SECONDS = "repro_serve_index_build_seconds"
 SERVE_INDEX_BUILD_SECONDS_HELP = "Wall time spent building the serving index."
 
+# -- columnar data plane (repro.data) ----------------------------------------
+
+DATA_SEGMENTS_OPENED = "repro_data_segments_opened_total"
+DATA_SEGMENTS_OPENED_HELP = "Columnar segments mapped into memory, by table."
+
+DATA_SEGMENTS_PRUNED = "repro_data_segments_pruned_total"
+DATA_SEGMENTS_PRUNED_HELP = (
+    "Columnar segments skipped by zone-map pruning during scans, by table."
+)
+
 # -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"

@@ -115,6 +115,19 @@ class ShardCorpus:
         return {cert.revocation_key(): cert for cert in self._certificates}
 
 
+def _shard_corpus(certificates):
+    """The corpus stand-in for a shard's certificate list.
+
+    Columnar row lists carry their own index-backed corpus; plain lists
+    (and row lists that crossed a spawn-pickle boundary, which degrade to
+    plain lists) get the materialized :class:`ShardCorpus`.
+    """
+    as_shard_corpus = getattr(certificates, "as_shard_corpus", None)
+    if as_shard_corpus is not None:
+        return as_shard_corpus()
+    return ShardCorpus(certificates)
+
+
 @dataclass
 class BundleShard:
     """One independent slice of a dataset bundle (both axes)."""
@@ -134,11 +147,11 @@ class BundleShard:
         """
         if detector_key == "key_compromise":
             return DatasetBundle(
-                corpus=ShardCorpus(self.revocation_certificates),  # type: ignore[arg-type]
+                corpus=_shard_corpus(self.revocation_certificates),  # type: ignore[arg-type]
                 crls=self.crls,
             )
         return DatasetBundle(
-            corpus=ShardCorpus(self.domain_certificates),  # type: ignore[arg-type]
+            corpus=_shard_corpus(self.domain_certificates),  # type: ignore[arg-type]
             whois_creation_pairs=self.whois_creation_pairs,
             dns_snapshots=self.dns_snapshots,
         )
@@ -178,6 +191,9 @@ def partition_bundle(bundle: DatasetBundle, num_shards: int) -> ShardPlan:
         num_shards=num_shards,
         shards=[BundleShard(index=i) for i in range(num_shards)],
     )
+    plan_columns = getattr(bundle.corpus, "shard_plan_columns", None)
+    if plan_columns is not None:
+        return _partition_columnar(bundle, plan, *plan_columns())
     certificates = list(bundle.corpus.certificates())
 
     # -- revocation axis: exact routing by authority key id ------------------
@@ -202,27 +218,8 @@ def partition_bundle(bundle: DatasetBundle, num_shards: int) -> ShardPlan:
             components.add(key)
         for other in keys[1:]:
             components.union(keys[0], other)
-    for domain, _creation_day in bundle.whois_creation_pairs:
-        components.add(domain_key(domain))
-    snapshot_days: List[Day] = []
-    if bundle.dns_snapshots is not None:
-        snapshot_days = bundle.dns_snapshots.days()
-        for scan_day in snapshot_days:
-            snapshot = bundle.dns_snapshots.get(scan_day)
-            for apex in snapshot.apexes():
-                components.add(domain_key(apex))
-
-    # Route each component by its canonical (minimum) member key so the
-    # assignment is independent of insertion order.
-    min_member: Dict[str, str] = {}
-    for key in components.keys():
-        root = components.find(key)
-        if root not in min_member or key < min_member[root]:
-            min_member[root] = key
-    for key in list(components.keys()):
-        plan.domain_assignment[key] = (
-            stable_hash(min_member[components.find(key)]) % num_shards
-        )
+    snapshot_days = _add_domain_side_keys(components, bundle)
+    _assign_components(plan, components)
 
     for certificate in certificates:
         registrables = certificate.e2lds()
@@ -234,6 +231,41 @@ def partition_bundle(bundle: DatasetBundle, num_shards: int) -> ShardPlan:
             shard_index = stable_hash("cert:" + certificate.dedup_fingerprint()) % num_shards
         plan.certificate_domain_shard[certificate.dedup_fingerprint()] = shard_index
         plan.shards[shard_index].domain_certificates.append(certificate)
+    _route_whois_and_dns(plan, bundle, snapshot_days)
+    return plan
+
+
+def _add_domain_side_keys(components: _UnionFind, bundle: DatasetBundle) -> List[Day]:
+    """Register WHOIS domains and snapshot apexes; returns the scan days."""
+    for domain, _creation_day in bundle.whois_creation_pairs:
+        components.add(domain_key(domain))
+    snapshot_days: List[Day] = []
+    if bundle.dns_snapshots is not None:
+        snapshot_days = bundle.dns_snapshots.days()
+        for scan_day in snapshot_days:
+            snapshot = bundle.dns_snapshots.get(scan_day)
+            for apex in snapshot.apexes():
+                components.add(domain_key(apex))
+    return snapshot_days
+
+
+def _assign_components(plan: ShardPlan, components: _UnionFind) -> None:
+    # Route each component by its canonical (minimum) member key so the
+    # assignment is independent of insertion order.
+    min_member: Dict[str, str] = {}
+    for key in components.keys():
+        root = components.find(key)
+        if root not in min_member or key < min_member[root]:
+            min_member[root] = key
+    for key in list(components.keys()):
+        plan.domain_assignment[key] = (
+            stable_hash(min_member[components.find(key)]) % plan.num_shards
+        )
+
+
+def _route_whois_and_dns(
+    plan: ShardPlan, bundle: DatasetBundle, snapshot_days: List[Day]
+) -> None:
     for domain, creation_day in bundle.whois_creation_pairs:
         shard_index = plan.domain_assignment[domain_key(domain)]
         plan.shards[shard_index].whois_creation_pairs.append((domain, creation_day))
@@ -243,7 +275,8 @@ def partition_bundle(bundle: DatasetBundle, num_shards: int) -> ShardPlan:
         # day) so consecutive-pair diffing and the disappearance lookahead
         # keep their unsharded semantics.
         per_shard_observations: List[Dict[Day, Dict[str, DomainObservation]]] = [
-            {scan_day: {} for scan_day in snapshot_days} for _ in range(num_shards)
+            {scan_day: {} for scan_day in snapshot_days}
+            for _ in range(plan.num_shards)
         ]
         for scan_day in snapshot_days:
             snapshot = bundle.dns_snapshots.get(scan_day)
@@ -260,4 +293,65 @@ def partition_bundle(bundle: DatasetBundle, num_shards: int) -> ShardPlan:
                 )
             shard.dns_snapshots = store
 
+
+def _partition_columnar(
+    bundle: DatasetBundle, plan: ShardPlan, akid_column, e2lds_column
+) -> ShardPlan:
+    """Index-only partition of a columnar bundle.
+
+    Routing reads two columns — authority key id and the precomputed
+    sorted e2LD list — so no certificate is hydrated; shards receive lazy
+    row lists that hydrate inside the workers. The assignment is
+    *identical* to the materialized path (same keys, same hashes), but
+    the per-axis fingerprint maps stay empty: filling them is exactly the
+    full-corpus hydration this path exists to avoid, and only the
+    partition-invariant tests consume them.
+    """
+    corpus = bundle.corpus
+    num_shards = plan.num_shards
+    revocation_rows: List[List[int]] = [[] for _ in range(num_shards)]
+    domain_rows: List[List[int]] = [[] for _ in range(num_shards)]
+
+    # -- revocation axis: exact routing by authority key id ------------------
+    for row, akid in enumerate(akid_column):
+        shard_index = plan.revocation_assignment.setdefault(
+            akid, stable_hash(akid) % num_shards
+        )
+        revocation_rows[shard_index].append(row)
+    for crl in bundle.crls:
+        shard_index = plan.revocation_assignment.setdefault(
+            crl.authority_key_id, stable_hash(crl.authority_key_id) % num_shards
+        )
+        plan.shards[shard_index].crls.append(crl)
+
+    # -- domain axis: union-find over registered-domain join keys ------------
+    components = _UnionFind()
+    row_e2lds: List[List[str]] = []
+    for row in range(len(corpus)):
+        keys = e2lds_column[row]  # sorted at write time: keys[0] is the min
+        row_e2lds.append(keys)
+        for key in keys:
+            components.add(key)
+        for other in keys[1:]:
+            components.union(keys[0], other)
+    snapshot_days = _add_domain_side_keys(components, bundle)
+    _assign_components(plan, components)
+
+    for row, keys in enumerate(row_e2lds):
+        if keys:
+            shard_index = plan.domain_assignment[keys[0]]
+        else:
+            # No registrable SAN: the domain joins can never reach it; route
+            # by fingerprint exactly as the materialized path does (this is
+            # the one per-row hydration, and such rows are rare).
+            certificate = corpus.certificate_rows([row])[0]
+            shard_index = (
+                stable_hash("cert:" + certificate.dedup_fingerprint()) % num_shards
+            )
+        domain_rows[shard_index].append(row)
+    _route_whois_and_dns(plan, bundle, snapshot_days)
+
+    for shard, revocation, domain in zip(plan.shards, revocation_rows, domain_rows):
+        shard.revocation_certificates = corpus.certificate_rows(revocation)
+        shard.domain_certificates = corpus.certificate_rows(domain)
     return plan

@@ -114,16 +114,16 @@ class FindingsIndex:
     ) -> "FindingsIndex":
         """Build an index from a bundle saved by ``repro save``/``--bundle``.
 
-        Reuses :func:`repro.ecosystem.persistence.load_bundle` — there is
-        deliberately no second deserializer — so a missing or corrupt
-        bundle raises the same ``OSError``/``ValueError`` the CLI already
-        maps to exit code 2.
+        Reuses :func:`repro.data.open_bundle` — there is deliberately no
+        second deserializer, and both the columnar and the legacy layout
+        are accepted — so a missing or corrupt bundle raises the same
+        ``OSError``/``ValueError`` the CLI already maps to exit code 2.
         """
         from repro.core.pipeline import MeasurementPipeline
-        from repro.ecosystem.persistence import load_bundle
+        from repro.data import open_bundle
         from repro.ecosystem.timeline import DEFAULT_TIMELINE
 
-        bundle = load_bundle(directory)
+        bundle = open_bundle(directory)
         if revocation_cutoff_day is None:
             revocation_cutoff_day = DEFAULT_TIMELINE.revocation_cutoff
         result = MeasurementPipeline.run_bundle(

@@ -1,0 +1,11 @@
+"""Bad: bypasses repro.data — deprecated shim import/call + layout literal."""
+
+import os
+
+from repro.ecosystem.persistence import load_bundle
+
+
+def read(directory):
+    bundle = load_bundle(directory)
+    corpus_path = os.path.join(directory, "corpus.jsonl.gz")
+    return bundle, corpus_path

@@ -1,0 +1,9 @@
+"""Good: bundle I/O through the repro.data front door."""
+
+from repro.data import open_bundle, write_dataset
+
+
+def roundtrip(source, destination):
+    bundle = open_bundle(source)
+    write_dataset(bundle, destination)
+    return bundle

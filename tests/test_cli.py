@@ -311,10 +311,24 @@ class TestServe:
         import os
 
         bundle_dir = str(tmp_path / "bundle")
-        assert main(ARGS + ["save", "--dir", bundle_dir]) == 0
+        assert main(ARGS + ["save", "--layout", "legacy",
+                            "--dir", bundle_dir]) == 0
         capsys.readouterr()
         with gzip.open(os.path.join(bundle_dir, "corpus.jsonl.gz"), "wt") as f:
             f.write("not json\n")
+        assert main(ARGS + ["serve", "--bundle", bundle_dir, "--warm-check"]) == 2
+        assert "cannot build serving index" in capsys.readouterr().err
+
+    def test_corrupt_columnar_bundle_exits_2(self, tmp_path, capsys):
+        import glob
+        import os
+
+        bundle_dir = str(tmp_path / "bundle")
+        assert main(ARGS + ["save", "--dir", bundle_dir]) == 0
+        capsys.readouterr()
+        segment = sorted(glob.glob(os.path.join(bundle_dir, "certs-*.seg")))[0]
+        with open(segment, "r+b") as f:
+            f.truncate(16)
         assert main(ARGS + ["serve", "--bundle", bundle_dir, "--warm-check"]) == 2
         assert "cannot build serving index" in capsys.readouterr().err
 

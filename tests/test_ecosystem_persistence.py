@@ -1,10 +1,16 @@
-"""Tests for dataset-bundle save/load roundtripping."""
+"""Tests for legacy dataset-bundle save/load roundtripping.
+
+The canonical writers moved to :mod:`repro.data`; this file covers the
+JSONL legacy layout (now ``repro.data.legacy``) and the deprecated
+``repro.ecosystem.persistence`` shim that still fronts it.
+"""
 
 import pytest
 
 from repro import MeasurementPipeline
 from repro.core.stale import StalenessClass
-from repro.ecosystem.persistence import load_bundle, save_bundle
+from repro.data import load_legacy_bundle as load_bundle
+from repro.data import save_legacy_bundle as save_bundle
 
 
 @pytest.fixture(scope="module")
@@ -12,6 +18,25 @@ def saved_dir(tmp_path_factory, small_world):
     directory = tmp_path_factory.mktemp("bundle")
     counts = save_bundle(small_world.to_bundle(), str(directory))
     return str(directory), counts
+
+
+class TestDeprecatedShim:
+    def test_load_bundle_warns_and_delegates(self, saved_dir, small_world):
+        from repro.ecosystem import persistence
+
+        directory, _counts = saved_dir
+        with pytest.warns(DeprecationWarning, match="open_bundle"):
+            restored = persistence.load_bundle(directory)
+        assert len(restored.corpus) == len(small_world.to_bundle().corpus)
+
+    def test_save_bundle_warns_and_delegates(self, tmp_path, small_world):
+        from repro.ecosystem import persistence
+
+        with pytest.warns(DeprecationWarning, match="write_dataset"):
+            counts = persistence.save_bundle(
+                small_world.to_bundle(), str(tmp_path)
+            )
+        assert counts["corpus.jsonl.gz"] > 0
 
 
 class TestSave:
