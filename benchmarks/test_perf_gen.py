@@ -1,0 +1,123 @@
+"""Performance benchmark — the streaming world generator.
+
+Not a paper experiment: the scaling guard for ``save --gen-shards``.
+Generates worlds at a geometric ladder of scales through the real CLI
+(so the run.json RSS accounting is exactly what CI gates on), asserts
+the O(shard) memory contract — peak parent RSS must stay essentially
+flat while the world grows 10x — and writes the scaling curve to
+``benchmarks/reports/perf_gen_scaling.txt``. The committed curve for
+the full 100x world (>10^6 domains) lives in
+``benchmarks/reports/gen_scale100.txt``; this test keeps the small end
+of the same curve honest on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.report import render_table
+
+#: The in-test ladder: the large end (10x) dominates runtime, so the
+#: ladder is short; the committed 100x artifact extends it.
+_SCALES = (0.1, 1.0, 10.0)
+
+#: Parent peak RSS may grow this much from scale 1.0 to the largest
+#: scale. The world grows 10x across that leg; O(shard + segment)
+#: memory barely moves once the fixed machinery (sorter run buffers,
+#: rolling segment blobs) is warm — measured ~1.3x. The 0.1x rung is
+#: reported but not gated by ratio: its baseline is mostly interpreter
+#: footprint, which makes ratios there meaningless.
+_MAX_RSS_GROWTH = 1.6
+
+#: Absolute ceiling for the parent at the largest rung. The scale-10
+#: world holds ~1.3M certificates (~450 MiB materialised as segments);
+#: the streaming path peaks well under half of that.
+_MAX_PARENT_RSS_BYTES = 512 * 2**20
+
+
+def _generate(tmp_dir: str, scale: float, shards: int):
+    out_dir = os.path.join(tmp_dir, f"scale-{scale}")
+    metrics = os.path.join(out_dir, "obs", "metrics.prom")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "save",
+            "--seed", "7", "--scale", str(scale),
+            "--gen-shards", str(shards),
+            "--dir", os.path.join(out_dir, "bundle"),
+            "--metrics-out", metrics,
+        ],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    with open(os.path.join(out_dir, "obs", "run.json")) as handle:
+        manifest = json.load(handle)
+    with open(os.path.join(out_dir, "bundle", "dataset.json")) as handle:
+        dataset = json.load(handle)
+    samples = {}
+    with open(metrics) as handle:
+        for line in handle:
+            if line.startswith("repro_gen_"):
+                name, value = line.rsplit(None, 1)
+                samples[name] = float(value)
+    return manifest, dataset, samples
+
+
+def test_perf_gen_scaling_curve(tmp_path, emit_report):
+    shards = 4
+    rows = []
+    rss_by_scale = {}
+    for scale in _SCALES:
+        manifest, dataset, samples = _generate(str(tmp_path), scale, shards)
+        domains = int(samples["repro_gen_domains_total"])
+        total_rows = sum(
+            spec["rows"] for spec in dataset["tables"].values()
+        )
+        parent_mb = manifest["peak_rss_bytes"] / 2**20
+        child_mb = (manifest["peak_rss_children_bytes"] or 0) / 2**20
+        rss_by_scale[scale] = manifest["peak_rss_bytes"]
+        rows.append((
+            f"{scale:g}x",
+            f"{domains:,}",
+            f"{total_rows:,}",
+            int(samples["repro_gen_dns_stride"]),
+            f"{manifest['wall_seconds']:.1f}",
+            f"{parent_mb:.0f}",
+            f"{child_mb:.0f}",
+        ))
+        assert domains > 0 and total_rows > 0
+
+    # The memory contract: 10x more world past the warm point, ~flat
+    # parent RSS — and an absolute ceiling at the largest rung.
+    growth = rss_by_scale[_SCALES[-1]] / rss_by_scale[1.0]
+    assert growth <= _MAX_RSS_GROWTH, (
+        f"parent peak RSS grew {growth:.1f}x from scale 1 to "
+        f"{_SCALES[-1]:g}; the streaming path should be O(shard), "
+        f"not O(world)"
+    )
+    assert rss_by_scale[_SCALES[-1]] <= _MAX_PARENT_RSS_BYTES, (
+        f"parent peak RSS {rss_by_scale[_SCALES[-1]] / 2**20:.0f} MiB at "
+        f"scale {_SCALES[-1]:g} exceeds the "
+        f"{_MAX_PARENT_RSS_BYTES / 2**20:.0f} MiB ceiling"
+    )
+
+    emit_report(
+        "perf_gen_scaling",
+        render_table(
+            [
+                "Scale", "Domains", "Bundle rows", "DNS stride",
+                "Wall s", "Parent RSS MiB", "Worker RSS MiB",
+            ],
+            rows,
+            title=(
+                f"Streaming generation scaling ({shards} shards; "
+                f"parent RSS growth {growth:.2f}x across the "
+                f"{_SCALES[-1] / 1.0:g}x world growth past scale 1)"
+            ),
+        ),
+    )

@@ -139,13 +139,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     save = sub.add_parser(
-        "save", parents=[common], help="simulate a world and persist its dataset bundle"
+        "save", parents=[common, obsopts],
+        help="simulate a world and persist its dataset bundle",
     )
     save.add_argument("--dir", required=True, help="output directory")
     save.add_argument(
         "--layout", choices=("columnar", "legacy"), default="columnar",
         help="bundle layout: columnar memory-mapped segments (default) or "
         "the legacy JSONL dict format",
+    )
+    save.add_argument(
+        "--gen-shards", type=int, default=None, metavar="K",
+        help="stream-generate the world in K deterministic shards instead "
+        "of simulating it in memory (peak RSS stays O(shard); output is "
+        "identical for every K; requires --layout columnar)",
+    )
+    save.add_argument(
+        "--gen-dns-rows", type=int, default=None, metavar="N",
+        help="DNS observation row budget for --gen-shards (the scan-day "
+        "stride is widened to stay under it; default 4,000,000)",
     )
 
     bundle_cmd = sub.add_parser(
@@ -458,6 +470,8 @@ def cmd_detect(args) -> int:
 def cmd_save(args) -> int:
     from repro.data import save_legacy_bundle, write_dataset
 
+    if getattr(args, "gen_shards", None):
+        return _save_streamed(args)
     world = _world(args)
     bundle = world.to_bundle()
     if args.layout == "legacy":
@@ -470,6 +484,42 @@ def cmd_save(args) -> int:
     print(
         render_table(
             columns, rows, title=f"Bundle saved to {args.dir} ({args.layout})"
+        )
+    )
+    return 0
+
+
+def _save_streamed(args) -> int:
+    """``save --gen-shards K``: stream-generate straight into segments."""
+    from repro.ecosystem.streamgen import save_streamed
+
+    if args.layout != "columnar":
+        print(
+            "error: --gen-shards streams rows into columnar segments; "
+            "--layout legacy would require materialising the world "
+            "(use 'repro bundle convert' afterwards instead)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gen_shards < 1:
+        print("error: --gen-shards must be >= 1", file=sys.stderr)
+        return 2
+    print(
+        f"stream-generating world (seed={args.seed}, scale={args.scale}, "
+        f"shards={args.gen_shards}) ...",
+        file=sys.stderr,
+    )
+    counts = save_streamed(
+        WorldConfig(seed=args.seed).scaled(args.scale),
+        args.dir,
+        shards=args.gen_shards,
+        dns_row_budget=args.gen_dns_rows,
+    )
+    print(
+        render_table(
+            ["Table", "Rows"],
+            sorted(counts.items()),
+            title=f"Bundle saved to {args.dir} (columnar, streamed)",
         )
     )
     return 0

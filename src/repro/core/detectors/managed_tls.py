@@ -42,6 +42,16 @@ def is_cloudflare_managed_certificate(certificate: Certificate) -> bool:
     return any(_SNI_SAN_RE.match(san) for san in certificate.san_dns_names)
 
 
+def has_managed_marker_san(san_dns_names: Iterable[str]) -> bool:
+    """Row-level form of :func:`is_cloudflare_managed_certificate`.
+
+    The columnar data plane classifies certificates straight from the
+    ``san_dns_names`` cell while building the ``managed`` secondary
+    index, without hydrating a :class:`Certificate`.
+    """
+    return any(_SNI_SAN_RE.match(san) for san in san_dns_names)
+
+
 def is_cloudflare_delegation(target: str) -> bool:
     return bool(_CLOUDFLARE_DELEGATION_RE.search(target.lower().rstrip(".")))
 

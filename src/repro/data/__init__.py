@@ -9,6 +9,10 @@ One API for every engine that consumes a saved
   ``whois`` / ``dns``) with ``scan()``, ``lookup()``,
   ``interval_query()`` over memory-mapped columnar segments;
 * :func:`write_dataset` — persist a bundle as columnar segments;
+* :class:`StreamingDatasetWriter` — the bounded-memory counterpart:
+  append schema-shaped rows as they are generated (the streaming world
+  generator's sink), with :class:`AppendSegmentWriter` /
+  :class:`ExternalSorter` as the spill-to-disk building blocks;
 * :func:`convert` / :func:`check_equivalent` — migrate between layouts
   with a round-trip equality check;
 * :func:`save_legacy_bundle` / :func:`load_legacy_bundle` — the legacy
@@ -16,7 +20,9 @@ One API for every engine that consumes a saved
   flagged by lint rule RL601).
 """
 
+from repro.data.append import AppendSegmentWriter, ExternalSorter
 from repro.data.convert import check_equivalent, convert
+from repro.data.streamwrite import StreamingDatasetWriter, write_rows_dataset
 from repro.data.dataset import (
     DATASET_MANIFEST,
     DEFAULT_ROWS_PER_SEGMENT,
@@ -29,12 +35,15 @@ from repro.data.legacy import load_legacy_bundle, save_legacy_bundle
 from repro.data.segment import Segment, SegmentFormatError, SegmentWriter
 
 __all__ = [
+    "AppendSegmentWriter",
     "DATASET_MANIFEST",
     "DEFAULT_ROWS_PER_SEGMENT",
     "Dataset",
+    "ExternalSorter",
     "Segment",
     "SegmentFormatError",
     "SegmentWriter",
+    "StreamingDatasetWriter",
     "check_equivalent",
     "convert",
     "detect_layout",
@@ -42,4 +51,5 @@ __all__ = [
     "open_bundle",
     "save_legacy_bundle",
     "write_dataset",
+    "write_rows_dataset",
 ]

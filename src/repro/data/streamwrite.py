@@ -1,0 +1,283 @@
+"""Streaming dataset assembly: rows in, a columnar bundle out.
+
+The batch path (:func:`repro.data.dataset.write_dataset`) materialises
+every table before writing. :class:`StreamingDatasetWriter` is the
+O(segment)-memory counterpart: callers append raw schema-shaped rows
+(tuples in ``schema.COLUMNS`` order) in each table's canonical order;
+table segments roll over every ``rows_per_segment`` rows through
+:class:`~repro.data.append.AppendSegmentWriter`, and secondary-index
+entries are extracted row-by-row into :class:`ExternalSorter` spills,
+so nothing table-sized is ever resident.
+
+:func:`write_rows_dataset` is the *reference* path for the same row
+streams: it materialises everything and writes through the original
+``SegmentWriter`` / ``_index_writer`` machinery from
+:mod:`repro.data.dataset`. The two paths share no encoder code beyond
+the schema, which is what makes the byte-identity equivalence suite in
+``tests/test_streamgen_equivalence.py`` meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.detectors.managed_tls import has_managed_marker_san
+from repro.data import schema
+from repro.data.append import AppendSegmentWriter, ExternalSorter
+from repro.data.dataset import (
+    DATASET_MANIFEST,
+    DEFAULT_ROWS_PER_SEGMENT,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    _index_writer,
+    _table_writers,
+)
+
+#: Key columns per (table, index); mirrors ``dataset._build_segments``.
+INDEX_KEY_COLUMNS: Dict[str, Dict[str, Tuple[Tuple[str, str], ...]]] = {
+    schema.CERTS_TABLE: {
+        "revkey": (("authority_key_id", "str"), ("serial", "i64")),
+        "e2ld": (("e2ld", "str"),),
+        "managed": (),
+        "interval": (("start", "i64"), ("end", "i64")),
+    },
+    schema.REVOCATIONS_TABLE: {
+        "interval": (("start", "i64"), ("end", "i64")),
+    },
+    schema.WHOIS_TABLE: {
+        "interval": (("start", "i64"), ("end", "i64")),
+    },
+    schema.DNS_TABLE: {
+        "interval": (("start", "i64"), ("end", "i64")),
+    },
+}
+
+_CERT_COL = {name: i for i, (name, _) in enumerate(schema.COLUMNS[schema.CERTS_TABLE])}
+_SAN_IDX = _CERT_COL["san_dns_names"]
+_AKID_IDX = _CERT_COL["authority_key_id"]
+_SERIAL_IDX = _CERT_COL["serial"]
+_NOT_BEFORE_IDX = _CERT_COL["not_before"]
+_NOT_AFTER_IDX = _CERT_COL["not_after"]
+_E2LDS_IDX = _CERT_COL["e2lds"]
+
+
+def iter_index_entries(
+    table: str, row_id: int, row: Sequence[Any]
+) -> Iterable[Tuple[str, Tuple]]:
+    """``(index name, entry tuple)`` pairs for one schema-shaped row.
+
+    Entry shapes match ``dataset._build_segments`` exactly, so sorting
+    them yields byte-identical index segments.
+    """
+    if table == schema.CERTS_TABLE:
+        yield "revkey", (row[_AKID_IDX], row[_SERIAL_IDX], row_id)
+        for registrable in row[_E2LDS_IDX]:
+            yield "e2ld", (registrable, row_id)
+        if has_managed_marker_san(row[_SAN_IDX]):
+            yield "managed", (row_id,)
+        yield "interval", (row[_NOT_BEFORE_IDX], row[_NOT_AFTER_IDX], row_id)
+    elif table == schema.REVOCATIONS_TABLE:
+        yield "interval", (row[3], row[3], row_id)
+    elif table == schema.WHOIS_TABLE:
+        yield "interval", (row[1], row[1], row_id)
+    elif table == schema.DNS_TABLE:
+        yield "interval", (row[0], row[0], row_id)
+    else:
+        raise ValueError(f"unknown table {table!r}")
+
+
+def _windows_spec(windows) -> Dict[str, List[int]]:
+    return {cls.value: list(window) for cls, window in windows.items()}
+
+
+def _write_manifest(directory: str, manifest: Dict[str, Any]) -> None:
+    manifest_path = os.path.join(directory, DATASET_MANIFEST)
+    tmp_path = manifest_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    os.replace(tmp_path, manifest_path)
+
+
+class _RollingTable:
+    """One table's segment chain: a fresh writer every 64Ki rows."""
+
+    def __init__(self, directory: str, table: str, rows_per_segment: int) -> None:
+        self._directory = directory
+        self._table = table
+        self._rows_per_segment = rows_per_segment
+        self._writer: Optional[AppendSegmentWriter] = None
+        self._segments: List[Dict[str, Any]] = []
+        self.count = 0
+
+    def _open_writer(self) -> AppendSegmentWriter:
+        if self._writer is None:
+            self._writer = AppendSegmentWriter(
+                self._table, schema.COLUMNS[self._table]
+            )
+        return self._writer
+
+    def append(self, row: Sequence[Any]) -> None:
+        writer = self._open_writer()
+        writer.append_row(row)
+        self.count += 1
+        if writer.rows >= self._rows_per_segment:
+            self._seal()
+
+    def _seal(self) -> None:
+        writer = self._writer
+        if writer is None:
+            return
+        filename = f"{self._table}-{len(self._segments):03d}.seg"
+        zonemap = writer.zonemap()
+        rows = writer.write(os.path.join(self._directory, filename))
+        self._segments.append({"file": filename, "rows": rows, "zonemap": zonemap})
+        self._writer = None
+
+    def finish(self) -> List[Dict[str, Any]]:
+        # An empty table still gets one empty segment (matches _chunk(0)).
+        if self._writer is None and not self._segments:
+            self._open_writer()
+        self._seal()
+        return self._segments
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+class StreamingDatasetWriter:
+    """Bounded-memory ``write_dataset``: feed rows, then :meth:`finish`.
+
+    Rows must arrive in each table's canonical order (certificates in
+    corpus order, revocations deduplicated, WHOIS pairs in span order,
+    DNS globally (day, apex)-sorted — the lazy snapshot reader requires
+    day-contiguous rows). Cross-table interleaving is free.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        windows,
+        rows_per_segment: int = DEFAULT_ROWS_PER_SEGMENT,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self._directory = directory
+        self._windows = windows
+        self._tables = {
+            name: _RollingTable(directory, name, rows_per_segment)
+            for name in schema.TABLE_NAMES
+        }
+        self._sorters: Dict[Tuple[str, str], ExternalSorter] = {
+            (table, index): ExternalSorter()
+            for table, indexes in INDEX_KEY_COLUMNS.items()
+            for index in indexes
+        }
+
+    def append(self, table: str, row: Sequence[Any]) -> None:
+        rolling = self._tables[table]
+        row_id = rolling.count
+        rolling.append(row)
+        for index_name, entry in iter_index_entries(table, row_id, row):
+            self._sorters[(table, index_name)].add(entry)
+
+    def extend(self, table: str, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.append(table, row)
+
+    def finish(self) -> Dict[str, int]:
+        """Seal segments, write sorted indexes + manifest; return rows."""
+        tables_spec: Dict[str, Any] = {}
+        for name in schema.TABLE_NAMES:
+            segments = self._tables[name].finish()
+            index_files: Dict[str, str] = {}
+            for index_name, key_columns in INDEX_KEY_COLUMNS[name].items():
+                filename = f"idx-{name}-{index_name}.seg"
+                writer = AppendSegmentWriter(
+                    f"idx-{name}-{index_name}",
+                    tuple(key_columns) + (("row", "i64"),),
+                    meta={"key_columns": [col for col, _ in key_columns]},
+                )
+                for entry in self._sorters[(name, index_name)].sorted_iter():
+                    writer.append_row(entry)
+                writer.write(os.path.join(self._directory, filename))
+                index_files[index_name] = filename
+            tables_spec[name] = {
+                "rows": sum(segment["rows"] for segment in segments),
+                "segments": segments,
+                "indexes": index_files,
+            }
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "windows": _windows_spec(self._windows),
+            "tables": tables_spec,
+        }
+        _write_manifest(self._directory, manifest)
+        return {name: spec["rows"] for name, spec in tables_spec.items()}
+
+    def close(self) -> None:
+        """Abandon the write: drop open writers and sorter spills."""
+        for rolling in self._tables.values():
+            rolling.close()
+        for sorter in self._sorters.values():
+            sorter.close()
+
+
+def write_rows_dataset(
+    rows_by_table: Dict[str, List[Tuple]],
+    windows,
+    directory: str,
+    rows_per_segment: int = DEFAULT_ROWS_PER_SEGMENT,
+) -> Dict[str, int]:
+    """Materialised reference path over the same schema-shaped rows.
+
+    Collects whole columns and writes through the batch machinery
+    (``SegmentWriter`` via ``_table_writers`` / ``_index_writer``). The
+    equivalence suite proves this and :class:`StreamingDatasetWriter`
+    produce byte-identical directories.
+    """
+    os.makedirs(directory, exist_ok=True)
+    tables_spec: Dict[str, Any] = {}
+    for name in schema.TABLE_NAMES:
+        rows = rows_by_table.get(name, [])
+        values = {
+            column: [row[position] for row in rows]
+            for position, (column, _) in enumerate(schema.COLUMNS[name])
+        }
+        table_writers = _table_writers(name, values, rows_per_segment)
+        entries: Dict[str, List[Tuple]] = {
+            index: [] for index in INDEX_KEY_COLUMNS[name]
+        }
+        for row_id, row in enumerate(rows):
+            for index_name, entry in iter_index_entries(name, row_id, row):
+                entries[index_name].append(entry)
+        indexes = {
+            index_name: _index_writer(name, index_name, key_columns, entries[index_name])
+            for index_name, key_columns in INDEX_KEY_COLUMNS[name].items()
+        }
+        for filename, writer in table_writers:
+            writer.write(os.path.join(directory, filename))
+        for filename, writer in indexes.values():
+            writer.write(os.path.join(directory, filename))
+        tables_spec[name] = {
+            "rows": sum(writer.rows for _, writer in table_writers),
+            "segments": [
+                {"file": filename, "rows": writer.rows, "zonemap": writer._zonemap}
+                for filename, writer in table_writers
+            ],
+            "indexes": {
+                index_name: filename
+                for index_name, (filename, _) in indexes.items()
+            },
+        }
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "windows": _windows_spec(windows),
+        "tables": tables_spec,
+    }
+    _write_manifest(directory, manifest)
+    return {name: spec["rows"] for name, spec in tables_spec.items()}

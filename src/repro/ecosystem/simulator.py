@@ -184,8 +184,14 @@ class WorldSimulator:
         self._cert_renewals: List[Tuple[Day, int, str, int, int]] = []  # name, serial, generation
         self._revocations: List[Tuple[Day, int, int, str, str]] = []  # serial, issuer, reason name
 
-        #: issuance day -> certificates (for compromise sampling).
+        #: issuance day -> certificates (for compromise sampling). Kept
+        #: as a *recency window*: buckets older than the longest issued
+        #: lifetime can never yield a valid sample, so they collapse to
+        #: a bare count in ``_issued_counts`` (the count preserves the
+        #: RNG draw a ``choice`` over the bucket would have consumed).
         self._issued_by_day: Dict[Day, List[Certificate]] = {}
+        self._issued_counts: Dict[Day, int] = {}
+        self._max_issued_lifetime: int = 0
         #: all unexpired certificates (lazily pruned) for other-reason revocation.
         self._active_certs: List[Certificate] = []
         self._revoked_serials: Set[Tuple[str, int]] = set()
@@ -237,6 +243,7 @@ class WorldSimulator:
     # ------------------------------------------------------------- day loop --
 
     def _step(self, current: Day) -> None:
+        self._prune_issuance_window(current)
         self._process_registration_expiries(current)
         self._process_releases(current)
         self._process_re_registrations(current)
@@ -254,20 +261,39 @@ class WorldSimulator:
         if self._should_fire_godaddy_breach(current):
             self._fire_godaddy_breach(current)
         if self.timeline.in_dns_scan_window(current):
-            observations = self._current_obs
-            loss_rate = self.config.dns_scan_loss_rate
-            if loss_rate > 0:
-                # Transient per-domain lookup failures: the domain simply
-                # does not appear in that day's snapshot.
-                observations = {
-                    apex: obs
-                    for apex, obs in observations.items()
-                    if not self._rng_life.bernoulli(loss_rate)
-                }
-            self.snapshots.put(DailySnapshot.from_observations(current, observations))
+            self.snapshots.put(
+                DailySnapshot.from_observations(
+                    current, self._scan_observations(current)
+                )
+            )
         if self.timeline.in_crl_window(current):
             result = self.crl_fetcher.fetch_day(current)
             self.collected_crls.extend(result.crls)
+
+    def _scan_observations(self, current: Day) -> Dict[str, "DomainObservation"]:
+        """One day's scan results: the live zone minus transient losses.
+
+        Each loss draw comes from a ``("dns-loss", day, apex)`` fork of
+        the lifecycle stream, not the stream itself. Drawing inline
+        (the previous behaviour) consumed one lifecycle draw per alive
+        domain, so *whether an unrelated domain existed* shifted every
+        subsequent lifecycle decision — and a domain's own scan-loss
+        outcome depended on the rest of the population. Forking keeps
+        the outcome a pure function of (seed, day, apex).
+        """
+        observations = self._current_obs
+        loss_rate = self.config.dns_scan_loss_rate
+        if loss_rate <= 0:
+            return observations
+        # Transient per-domain lookup failures: the domain simply does
+        # not appear in that day's snapshot.
+        return {
+            apex: obs
+            for apex, obs in observations.items()
+            if not self._rng_life.split(
+                "dns-loss", str(current), apex
+            ).bernoulli(loss_rate)
+        }
 
     # -------------------------------------------------------- registrations --
 
@@ -518,6 +544,8 @@ class WorldSimulator:
     ) -> None:
         self._total_issued += 1
         self._issued_by_day.setdefault(current, []).append(certificate)
+        if certificate.lifetime_days > self._max_issued_lifetime:
+            self._max_issued_lifetime = certificate.lifetime_days
         self._active_certs.append(certificate)
         self._submit_to_ct(certificate, current)
         if not renewal:
@@ -674,7 +702,15 @@ class WorldSimulator:
             age = int(self._rng_rev.expovariate(1.0 / self.config.compromise_delay_mean_days))
             issue_day = current - age
             candidates = self._issued_by_day.get(issue_day)
-            if not candidates:
+            if candidates is None:
+                pruned = self._issued_counts.get(issue_day)
+                if pruned:
+                    # The bucket aged out of the validity window: every
+                    # certificate in it fails is_valid_on(current).
+                    # Consume the one draw choice() would have (both
+                    # are a single _randbelow over the bucket size) so
+                    # pruning never perturbs the stream.
+                    self._rng_rev.randint(0, pruned - 1)
                 continue
             certificate = self._rng_rev.choice(candidates)
             if not certificate.is_valid_on(current):
@@ -705,6 +741,25 @@ class WorldSimulator:
                 continue
             reason = self._rng_rev.weighted_choice(reasons, weights)
             self._schedule_revocation(certificate, current, reason)
+
+    def _prune_issuance_window(self, current: Day) -> None:
+        """Collapse issuance buckets that can no longer yield a sample.
+
+        A bucket from day *d* only matters to ``_sample_recently_issued``
+        while some certificate in it is still valid, i.e. while
+        ``d + lifetime >= current``; past ``current - max lifetime`` the
+        whole bucket is dead weight. Day buckets are created by the day
+        loop in increasing order, so dict order is chronological and the
+        prune is a pop-from-the-front. (``_active_certs`` needs no such
+        window: ``_sample_active_cert`` already swap-removes expired
+        entries, and changing its layout would perturb its draws.)
+        """
+        cutoff = current - self._max_issued_lifetime
+        while self._issued_by_day:
+            head = next(iter(self._issued_by_day))
+            if head >= cutoff:
+                break
+            self._issued_counts[head] = len(self._issued_by_day.pop(head))
 
     def _sample_active_cert(self, current: Day) -> Optional[Certificate]:
         while self._active_certs:

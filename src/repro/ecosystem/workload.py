@@ -165,8 +165,25 @@ class WorldConfig:
         return dict(mix)
 
     def scaled(self, factor: float) -> "WorldConfig":
-        """A copy with registration volume scaled by *factor* (tests use
-        small worlds; benches can use larger ones)."""
+        """A copy with the *world* scaled by *factor*; per-domain rates
+        are unchanged.
+
+        Two knobs move together on purpose, and this is **not** double
+        scaling: ``registration_rate_schedule`` is a population size
+        (domains registered per day) while ``key_compromise_rate_schedule``
+        and ``other_revocation_rate_schedule`` are *world-total* event
+        rates (events per day, across the whole population). Scaling
+        only the registrations would dilute each domain's compromise
+        probability by ``1/factor``; scaling both keeps every ratio of
+        the form ``event_rate(day) / registration_rate(day)`` — the
+        per-domain experience — exactly invariant, which is what lets a
+        0.02x test world and a 100x generated world share one set of
+        expectation bands (see EXPERIMENTS.md). Per-certificate
+        probabilities (renewal, re-registration, CDN churn, scan loss)
+        are already per-entity and are left untouched.
+
+        Composition holds: ``scaled(a).scaled(b)`` equals ``scaled(a*b)``.
+        """
         schedule = tuple(
             (start, rate * factor) for start, rate in self.registration_rate_schedule
         )

@@ -78,6 +78,23 @@ DATA_SEGMENTS_PRUNED_HELP = (
     "Columnar segments skipped by zone-map pruning during scans, by table."
 )
 
+# -- streaming world generation (repro.ecosystem.streamgen) ------------------
+
+GEN_DOMAINS = "repro_gen_domains_total"
+GEN_DOMAINS_HELP = "Domains emitted by the streaming world generator."
+
+GEN_ROWS = "repro_gen_rows_total"
+GEN_ROWS_HELP = "Rows emitted by the streaming world generator, by table."
+
+GEN_SHARDS = "repro_gen_shards"
+GEN_SHARDS_HELP = "Shard count used by the streaming world generator."
+
+GEN_DNS_STRIDE = "repro_gen_dns_stride"
+GEN_DNS_STRIDE_HELP = (
+    "Scan-day stride chosen to keep DNS rows within the row budget "
+    "(1 = every day in the scan window)."
+)
+
 # -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"

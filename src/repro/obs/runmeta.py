@@ -37,6 +37,23 @@ def peak_rss_bytes() -> Optional[int]:
     return int(peak) if sys.platform == "darwin" else int(peak) * 1024
 
 
+def peak_rss_children_bytes() -> Optional[int]:
+    """Largest peak RSS among waited-for child processes, or ``None``.
+
+    This is what bounds a *shard worker* of the streaming generator or
+    the parallel detector: RUSAGE_SELF only sees the parent, so an
+    O(shard) memory claim is checked against this field instead.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if peak <= 0:
+        return None  # no children have been waited for
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
 def build_run_manifest(
     command: str,
     argv: Optional[list] = None,
@@ -61,6 +78,7 @@ def build_run_manifest(
         "workers": workers,
         "wall_seconds": wall_seconds,
         "peak_rss_bytes": peak_rss_bytes(),
+        "peak_rss_children_bytes": peak_rss_children_bytes(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),

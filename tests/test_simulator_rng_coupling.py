@@ -1,0 +1,148 @@
+"""Regression tests for RNG-coupling bugs in the day-loop simulator.
+
+Two cross-cutting draws used to come straight out of shared sequential
+streams, coupling unrelated entities:
+
+* DNS scan loss drew one ``_rng_life.bernoulli`` per alive domain, so a
+  domain's loss outcome (and every later lifecycle decision) depended
+  on how many *other* domains happened to exist that day.
+* ``_sample_recently_issued`` kept every issuance bucket forever; the
+  recency-window prune must consume draw-for-draw identical RNG so old
+  worlds reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dns.snapshots import DomainObservation
+from repro.ecosystem.simulator import WorldSimulator, simulate_world
+from repro.ecosystem.workload import WorldConfig
+from repro.util.dates import day
+
+
+def _observation(apex: str) -> DomainObservation:
+    obs = DomainObservation(apex)
+    obs.rdatas["NS"] = frozenset({f"ns1.{apex}", f"ns2.{apex}"})
+    return obs
+
+
+def _scan_outcome(population, probe: str, scan_day, loss_rate=0.5):
+    """Whether *probe* survives the scan among *population* apexes."""
+    config = dataclasses.replace(
+        WorldConfig(seed=777), dns_scan_loss_rate=loss_rate
+    )
+    simulator = WorldSimulator(config)
+    simulator._current_obs = {apex: _observation(apex) for apex in population}
+    observed = simulator._scan_observations(scan_day)
+    return probe in observed
+
+
+class TestScanLossDecoupling:
+    def test_loss_outcome_invariant_to_unrelated_domains(self):
+        """A domain's scan-loss fate must not depend on the rest of the zone."""
+        probe = "probe-domain.com"
+        scan_day = day(2022, 9, 1)
+        alone = _scan_outcome([probe], probe, scan_day)
+        for crowd_size in (1, 17, 50):
+            crowd = [f"filler-{i}.net" for i in range(crowd_size)] + [probe]
+            assert _scan_outcome(crowd, probe, scan_day) == alone
+
+    def test_loss_outcome_varies_by_day_and_apex(self):
+        """The fork labels actually matter: outcomes differ across days."""
+        probe = "probe-domain.com"
+        outcomes = {
+            _scan_outcome([probe], probe, day(2022, 8, 1) + offset)
+            for offset in range(40)
+        }
+        assert outcomes == {True, False}  # loss_rate=0.5: both must occur
+
+    def test_scan_draws_do_not_consume_lifecycle_stream(self):
+        """Scanning must leave the shared lifecycle stream untouched."""
+        config = dataclasses.replace(
+            WorldConfig(seed=777), dns_scan_loss_rate=0.5
+        )
+        simulator = WorldSimulator(config)
+        simulator._current_obs = {
+            f"filler-{i}.org": _observation(f"filler-{i}.org") for i in range(25)
+        }
+        state_before = simulator._rng_life._rng.getstate()
+        simulator._scan_observations(day(2022, 9, 15))
+        assert simulator._rng_life._rng.getstate() == state_before
+
+    def test_zero_loss_rate_returns_full_zone(self):
+        config = dataclasses.replace(
+            WorldConfig(seed=777), dns_scan_loss_rate=0.0
+        )
+        simulator = WorldSimulator(config)
+        simulator._current_obs = {"a.com": _observation("a.com")}
+        assert simulator._scan_observations(day(2022, 9, 1)) == simulator._current_obs
+
+
+class _UnprunedSimulator(WorldSimulator):
+    """The pre-window behaviour: never collapse issuance buckets."""
+
+    def _prune_issuance_window(self, current):
+        pass
+
+
+class TestIssuanceRecencyWindow:
+    def test_pruned_world_identical_to_unpruned(self):
+        """The window is pure bookkeeping: worlds must match event-for-event."""
+        config = WorldConfig(seed=9091).scaled(0.02)
+        pruned = WorldSimulator(config).run()
+        unpruned = _UnprunedSimulator(config).run()
+        assert pruned.dataset_summary() == unpruned.dataset_summary()
+        assert len(pruned.ground_truth) == len(unpruned.ground_truth)
+        fingerprints = lambda world: [
+            certificate.dedup_fingerprint()
+            for certificate in world.corpus.certificates()
+        ]
+        assert fingerprints(pruned) == fingerprints(unpruned)
+        revocations = lambda world: sorted(
+            (entry.serial, entry.revocation_day, entry.reason.name)
+            for crl in world.crls
+            for entry in crl.entries
+        )
+        assert revocations(pruned) == revocations(unpruned)
+
+    def test_window_actually_prunes(self):
+        """At full decade length the early buckets must have collapsed."""
+        world = simulate_world(WorldConfig(seed=9091).scaled(0.02))
+        # run() keeps no simulator handle; re-run a short probe instead.
+        simulator = WorldSimulator(WorldConfig(seed=9091).scaled(0.02))
+        simulator.run()
+        assert simulator._issued_counts, "decade-long run should prune buckets"
+        if simulator._issued_by_day:
+            oldest_kept = min(simulator._issued_by_day)
+            newest_pruned = max(simulator._issued_counts)
+            assert newest_pruned < oldest_kept
+        assert world.total_certificates_issued > 0
+
+
+class TestScaledInvariance:
+    def test_per_domain_event_rates_scale_invariant(self):
+        """scaled() multiplies population and world-total event rates
+        together, so the per-domain ratio is constant — not double-scaled."""
+        base = WorldConfig()
+        probe_days = [day(2016, 1, 1), day(2019, 6, 1), day(2022, 7, 1)]
+        for factor in (0.05, 1.0, 7.0, 100.0):
+            scaled = base.scaled(factor)
+            for probe in probe_days:
+                assert scaled.registration_rate(probe) == (
+                    base.registration_rate(probe) * factor
+                )
+                ratio = lambda cfg: (
+                    cfg.key_compromise_rate(probe) / cfg.registration_rate(probe),
+                    cfg.other_revocation_rate(probe) / cfg.registration_rate(probe),
+                )
+                base_kc, base_other = ratio(base)
+                scaled_kc, scaled_other = ratio(scaled)
+                assert abs(scaled_kc - base_kc) < 1e-12
+                assert abs(scaled_other - base_other) < 1e-12
+
+    def test_scaled_composes_multiplicatively(self):
+        composed = WorldConfig().scaled(4.0).scaled(2.5)
+        direct = WorldConfig().scaled(10.0)
+        assert composed.registration_rate_schedule == direct.registration_rate_schedule
+        assert abs(composed.event_rate_factor - direct.event_rate_factor) < 1e-12

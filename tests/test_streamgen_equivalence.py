@@ -1,0 +1,181 @@
+"""Equivalence suite for the streaming world generator.
+
+The generator's contract has three legs:
+
+1. **Path identity** — streaming rows through ``StreamingDatasetWriter``
+   (append writers + external sorts) produces *byte-identical* bundle
+   directories to materialising every row and writing through the batch
+   ``SegmentWriter`` machinery.
+2. **Shard invariance** — the emitted world is a pure function of the
+   config: any shard count K, serial or multiprocess, yields the same
+   bytes, and therefore the same detection findings.
+3. **Bounded memory** — ``save --gen-shards`` keeps the parent's peak
+   RSS flat as the world grows (gated in benchmarks/test_perf_gen.py at
+   10x scale; here we assert the run.json plumbing end to end).
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.pipeline import MeasurementPipeline
+from repro.data import check_equivalent
+from repro.data.dataset import Dataset, open_bundle
+from repro.ecosystem.streamgen import (
+    GenContext,
+    save_materialized,
+    save_streamed,
+    shard_ranges,
+    stream_rows,
+)
+from repro.ecosystem.timeline import DEFAULT_TIMELINE
+from repro.ecosystem.workload import WorldConfig
+
+SEED_CONFIG = WorldConfig(seed=20231024).scaled(0.02)
+
+
+def _assert_directories_byte_identical(reference: str, candidate: str) -> None:
+    names = sorted(os.listdir(reference))
+    assert sorted(os.listdir(candidate)) == names
+    different = [
+        name
+        for name in names
+        if not filecmp.cmp(
+            os.path.join(reference, name), os.path.join(candidate, name),
+            shallow=False,
+        )
+    ]
+    assert different == []
+
+
+@pytest.fixture(scope="module")
+def reference_bundle(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("streamgen") / "reference")
+    counts = save_materialized(SEED_CONFIG, directory)
+    return directory, counts
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_streamed_matches_materialized(self, tmp_path, reference_bundle, shards):
+        reference, reference_counts = reference_bundle
+        directory = str(tmp_path / f"streamed-{shards}")
+        counts = save_streamed(
+            SEED_CONFIG, directory, shards=shards, use_processes=False
+        )
+        assert counts == reference_counts
+        _assert_directories_byte_identical(reference, directory)
+
+    def test_multiprocess_workers_match(self, tmp_path, reference_bundle):
+        reference, _ = reference_bundle
+        directory = str(tmp_path / "streamed-mp")
+        save_streamed(SEED_CONFIG, directory, shards=3, use_processes=True)
+        _assert_directories_byte_identical(reference, directory)
+
+    def test_check_equivalent_passes(self, tmp_path, reference_bundle):
+        reference, _ = reference_bundle
+        directory = str(tmp_path / "streamed-eq")
+        save_streamed(SEED_CONFIG, directory, shards=2, use_processes=False)
+        assert check_equivalent(reference, directory) == []
+
+    def test_bundle_opens_and_is_well_formed(self, reference_bundle):
+        reference, counts = reference_bundle
+        dataset = Dataset.open(reference)
+        assert dataset.table("certs").rows == counts["certs"]
+        assert dataset.table("dns").rows == counts["dns"]
+        bundle = dataset.to_bundle()
+        assert len(bundle.corpus) == counts["certs"]
+
+
+class TestShardInvariance:
+    def test_shard_ranges_partition_exactly(self):
+        for total, shards in [(0, 1), (7, 3), (100, 8), (5, 5), (3, 7)]:
+            ranges = shard_ranges(total, shards)
+            assert len(ranges) == shards
+            assert ranges[0][0] == 0 and ranges[-1][1] == total
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_row_stream_is_shard_count_invariant(self):
+        """Per-table row sequences are identical for every K (batch
+        boundaries — and hence cross-table interleaving — may differ)."""
+        streams = {}
+        for shards in (1, 2, 5):
+            ctx = GenContext(SEED_CONFIG)
+            per_table = {}
+            for table, rows in stream_rows(ctx, shards=shards):
+                per_table.setdefault(table, []).extend(rows)
+            streams[shards] = per_table
+        assert streams[1] == streams[2] == streams[5]
+
+    def test_findings_invariant_across_shard_counts(self, tmp_path):
+        per_class = {}
+        for shards in (1, 3):
+            directory = str(tmp_path / f"world-{shards}")
+            save_streamed(
+                SEED_CONFIG, directory, shards=shards, use_processes=False
+            )
+            result = MeasurementPipeline(
+                open_bundle(directory),
+                revocation_cutoff_day=DEFAULT_TIMELINE.revocation_cutoff,
+            ).run()
+            per_class[shards] = sorted(
+                (
+                    finding.staleness_class.value,
+                    finding.certificate.serial,
+                    finding.invalidation_day,
+                    finding.affected_domain,
+                )
+                for finding in result.findings.all_findings()
+            )
+            assert per_class[shards], "seed world should produce findings"
+        assert per_class[1] == per_class[3]
+
+
+class TestCliStreamedSave:
+    def _run(self, tmp_path, *extra):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "save", *extra],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        )
+
+    def test_save_gen_shards_writes_bundle_and_run_manifest(self, tmp_path):
+        bundle_dir = str(tmp_path / "bundle")
+        metrics = str(tmp_path / "out" / "metrics.prom")
+        proc = self._run(
+            tmp_path,
+            "--scale", "0.01", "--gen-shards", "2",
+            "--dir", bundle_dir, "--metrics-out", metrics,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert Dataset.open(bundle_dir).table("certs").rows > 0
+        with open(os.path.join(str(tmp_path), "out", "run.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["command"] == "save"
+        assert manifest["peak_rss_bytes"] > 0
+        # Two shard workers ran and were waited for.
+        assert manifest["peak_rss_children_bytes"] > 0
+        with open(metrics) as handle:
+            metrics_text = handle.read()
+        assert "repro_gen_shards 2" in metrics_text
+        assert 'repro_gen_rows_total{table="certs"}' in metrics_text
+
+    def test_save_gen_shards_rejects_legacy_layout(self, tmp_path):
+        proc = self._run(
+            tmp_path,
+            "--scale", "0.01", "--gen-shards", "2",
+            "--dir", str(tmp_path / "nope"), "--layout", "legacy",
+        )
+        assert proc.returncode == 2
+        assert "columnar" in proc.stderr
