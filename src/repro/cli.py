@@ -13,6 +13,9 @@ Drives the full reproduction from a shell::
     python -m repro watch     --scale 0.1 --checkpoint-dir /tmp/ckpt --resume
     python -m repro detect    --scale 0.1 --metrics-out metrics.prom --log-json
     python -m repro detect    --scale 0.1 --workers 4 --trace-out trace.json
+    python -m repro detect    --scale 0.1 --heartbeat 1 --metrics-out run/m.prom
+    python -m repro top       run/ [--once]
+    python -m repro obs-timeline run/ [--diff other-run/]
     python -m repro profile   trace.json --top 10
     python -m repro obs-diff  benchmarks/baselines/detect-scale002 run/
     python -m repro lint      src tests --format json
@@ -33,6 +36,15 @@ and ``--log-json`` emits structured JSON log records to stderr. Each
 invocation records into a fresh registry/collector, so the artifacts
 describe exactly one run — and they are written from a ``finally``, so a
 crashed or interrupted run still emits its partial telemetry.
+
+Two more shared flags drive *live* telemetry: ``--heartbeat SECS``
+starts a background sampler (see :mod:`repro.obs.live`) appending
+progress/RSS/open-span snapshots to ``timeline.jsonl`` next to
+``--metrics-out`` (or the working directory) — watch it live or post
+hoc with ``python -m repro top RUN_DIR`` and summarize or compare runs
+with ``obs-timeline``; ``--slow-span-ms MS`` logs a structured
+``slow_span`` record whenever a span outlives the threshold. Both
+default to off and cost nothing when off.
 
 ``profile`` aggregates an exported trace (per-span self/cumulative time
 and the cross-worker critical path); ``obs-diff`` compares two runs'
@@ -118,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the run's span trace (Chrome trace-event JSON; "
         "*.jsonl for one event per line) — load in Perfetto or feed to "
         "'repro profile'",
+    )
+    obsopts.add_argument(
+        "--heartbeat", type=float, default=0.0, metavar="SECS",
+        help="sample live telemetry every SECS seconds into "
+        "timeline.jsonl next to --metrics-out (or the working "
+        "directory); watch with 'repro top' (default 0 = off)",
+    )
+    obsopts.add_argument(
+        "--slow-span-ms", type=float, default=None, metavar="MS",
+        help="log a structured slow_span record for any span lasting "
+        "at least MS milliseconds (default off; env "
+        "REPRO_SLOW_SPAN_MS)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -312,6 +336,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="--warm-check report format (default text)",
     )
 
+    top = sub.add_parser(
+        "top",
+        help="live console view over a run's timeline.jsonl "
+        "(running or finished; requires the run used --heartbeat)",
+    )
+    top.add_argument(
+        "run", help="run directory containing timeline.jsonl, or the file itself"
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one plain frame and exit (no ANSI repaint)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECS",
+        help="live-mode refresh cadence (default 1.0)",
+    )
+
+    obs_timeline = sub.add_parser(
+        "obs-timeline",
+        help="summarize a run's timeline.jsonl (phases, rates, RSS); "
+        "--diff compares two timelines and exits non-zero on regressions",
+    )
+    obs_timeline.add_argument(
+        "run", help="run directory containing timeline.jsonl, or the file itself"
+    )
+    obs_timeline.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="also summarize OTHER and report rate/RSS regressions of "
+        "this run against it",
+    )
+    obs_timeline.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="--diff regression threshold in percent (default 25)",
+    )
+    obs_timeline.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="statically check determinism / fork-safety / obs / protocol "
@@ -370,7 +433,10 @@ def _bundle_and_cutoff(args):
     re-simulation). Without it: simulate, as before.
     """
     from repro.data import detect_layout, open_bundle, write_dataset
+    from repro.obs import phase_progress
 
+    progress = phase_progress("load_bundle")
+    progress.set_total(1)
     bundle_dir = getattr(args, "bundle", None)
     if bundle_dir and detect_layout(bundle_dir) is not None:
         from repro.ecosystem.timeline import DEFAULT_TIMELINE
@@ -378,14 +444,17 @@ def _bundle_and_cutoff(args):
         layout = detect_layout(bundle_dir)
         print(f"loading bundle ({layout}) from {bundle_dir} ...", file=sys.stderr)
         try:
-            return open_bundle(bundle_dir), DEFAULT_TIMELINE.revocation_cutoff
+            bundle = open_bundle(bundle_dir)
         except (OSError, ValueError) as error:
             raise BundleCliError(f"cannot open bundle {bundle_dir}: {error}") from error
+        progress.add(1)
+        return bundle, DEFAULT_TIMELINE.revocation_cutoff
     world = _world(args)
     bundle = world.to_bundle()
     if bundle_dir:
         write_dataset(bundle, bundle_dir)
         print(f"saved bundle (columnar) to {bundle_dir}", file=sys.stderr)
+    progress.add(1)
     return bundle, world.config.timeline.revocation_cutoff
 
 
@@ -1002,6 +1071,88 @@ def cmd_obs_diff(args) -> int:
     return 1 if regressions else 0
 
 
+def cmd_top(args) -> int:
+    """Console view over a run's live (or finished) timeline."""
+    from repro.obs.topview import run_top
+
+    try:
+        return run_top(args.run, once=args.once, interval=args.interval)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read timeline: {error}", file=sys.stderr)
+        return 2
+
+
+def cmd_obs_timeline(args) -> int:
+    """Summarize (and optionally diff) run timelines."""
+    from repro.obs.timeline import diff_summaries, read_timeline, summarize_timeline
+
+    try:
+        summary = summarize_timeline(read_timeline(args.run))
+        other = (
+            summarize_timeline(read_timeline(args.diff)) if args.diff else None
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read timeline: {error}", file=sys.stderr)
+        return 2
+    diff = (
+        diff_summaries(other, summary, threshold_pct=args.threshold)
+        if other is not None
+        else None
+    )
+    if _wants_json(args):
+        payload = {"run": args.run, "summary": summary}
+        if diff is not None:
+            payload.update({"baseline": args.diff, "diff": diff})
+        _print_json(payload)
+        return 0 if diff is None or diff["ok"] else 1
+
+    rss = summary.get("rss") or {}
+    overview = [
+        ("command", summary.get("command") or "-"),
+        ("snapshots", summary.get("snapshots")),
+        ("duration (s)", summary.get("duration_seconds")),
+        ("heartbeat (s)", summary.get("heartbeat_seconds")),
+        ("mean interval (s)", summary.get("mean_interval_seconds", "-")),
+        ("monotonic", str(summary.get("monotonic"))),
+        ("rss max (MiB)",
+         round(rss["max_bytes"] / (1 << 20), 1) if rss.get("max_bytes") else "-"),
+    ]
+    print(render_table(
+        ["Quantity", "Value"], overview, title=f"Timeline — {args.run}"
+    ))
+    phase_rows = [
+        (phase,
+         int(row["done"]),
+         int(row["total"]),
+         row["mean_rate"] if row["mean_rate"] is not None else "-",
+         row["last_rate"] if row["last_rate"] is not None else "-")
+        for phase, row in (summary.get("phases") or {}).items()
+    ]
+    if phase_rows:
+        print(render_table(
+            ["Phase", "Done", "Total", "Mean rate/s", "Last rate/s"],
+            phase_rows, title="Progress phases",
+        ))
+    if diff is None:
+        return 0
+    print(render_table(
+        ["Series", "Baseline", "Candidate", "Delta"],
+        [
+            (d["series"], d["a"] if d["a"] is not None else "-",
+             d["b"] if d["b"] is not None else "-",
+             f"{d['delta_pct']:+.1f}%" if d["delta_pct"] is not None else "-")
+            for d in diff["deltas"]
+        ],
+        title=f"Diff vs {args.diff} (threshold {args.threshold:g}%)",
+    ))
+    if diff["regressions"]:
+        for series in diff["regressions"]:
+            print(f"REGRESSION: {series}", file=sys.stderr)
+        return 1
+    print(f"no regressions beyond {args.threshold:g}%")
+    return 0
+
+
 def _write_run_artifacts(
     args,
     argv: List[str],
@@ -1010,15 +1161,19 @@ def _write_run_artifacts(
     wall_seconds: float,
     exit_status: str,
     exit_code: Optional[int],
+    heartbeat=None,
 ) -> None:
-    """Write --metrics-out / --trace-out / run.json for one invocation.
+    """Write --metrics-out / --trace-out / timeline / run.json for one run.
 
     Called from ``main``'s ``finally`` so a crashed or interrupted run
-    still emits its partial metrics, trace, and manifest.
+    still emits its partial metrics, trace, and manifest. The heartbeat
+    is stopped *here*, after the trace gauge lands but before the
+    metrics textfile is rendered, so the timeline's final snapshot
+    contains exactly the samples ``metrics.prom`` will.
     """
     import os
 
-    from repro.obs import names
+    from repro.obs import names, set_heartbeat
     from repro.obs.runmeta import (
         RUN_MANIFEST_NAME,
         build_run_manifest,
@@ -1033,6 +1188,20 @@ def _write_run_artifacts(
         ).set(collector.dropped)
         collector.write(trace_out)
         print(f"wrote trace to {trace_out}", file=sys.stderr)
+    timeline_path = None
+    timeline_snapshots = None
+    heartbeat_seconds = None
+    if heartbeat is not None:
+        heartbeat.stop()
+        set_heartbeat(None)
+        timeline_path = heartbeat.path
+        timeline_snapshots = heartbeat.snapshots
+        heartbeat_seconds = heartbeat.interval
+        print(
+            f"wrote timeline to {timeline_path} "
+            f"({timeline_snapshots} snapshots)",
+            file=sys.stderr,
+        )
     if metrics_out:
         registry.write_textfile(metrics_out)
         print(f"wrote metrics to {metrics_out}", file=sys.stderr)
@@ -1054,6 +1223,9 @@ def _write_run_artifacts(
                 trace_path=trace_out,
                 trace_events=len(collector) if collector is not None else None,
                 trace_dropped=collector.dropped if collector is not None else None,
+                timeline_path=timeline_path,
+                timeline_snapshots=timeline_snapshots,
+                heartbeat_seconds=heartbeat_seconds,
             ),
         )
         print(f"wrote run manifest to {manifest_path}", file=sys.stderr)
@@ -1072,10 +1244,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "watch": cmd_watch,
         "profile": cmd_profile,
         "obs-diff": cmd_obs_diff,
+        "top": cmd_top,
+        "obs-timeline": cmd_obs_timeline,
         "serve": cmd_serve,
         "lint": cmd_lint,
     }
     import logging
+    import os
     from contextlib import ExitStack
     from time import perf_counter
 
@@ -1083,15 +1258,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         TraceCollector,
         configure_json_logging,
         remove_json_logging,
+        set_slow_span_ms,
         span,
         use_collector,
         use_registry,
     )
+    from repro.obs.timeline import TIMELINE_NAME
 
     log_handler = None
     if getattr(args, "log_json", False):
         log_handler = configure_json_logging(stream=sys.stderr, level=logging.DEBUG)
     collector = TraceCollector() if getattr(args, "trace_out", None) else None
+    slow_span_ms = getattr(args, "slow_span_ms", None)
+    previous_slow_span = (
+        set_slow_span_ms(slow_span_ms) if slow_span_ms is not None else None
+    )
     started = perf_counter()
     code: Optional[int] = None
     failed = False
@@ -1104,6 +1285,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             registry = stack.enter_context(use_registry())
             if collector is not None:
                 stack.enter_context(use_collector(collector))
+            heartbeat = None
+            interval = getattr(args, "heartbeat", 0.0) or 0.0
+            if interval > 0:
+                from repro.obs import Heartbeat, set_heartbeat
+
+                metrics_out = getattr(args, "metrics_out", None)
+                timeline_dir = (
+                    os.path.dirname(os.path.abspath(metrics_out))
+                    if metrics_out
+                    else os.getcwd()
+                )
+                heartbeat = Heartbeat(
+                    registry,
+                    os.path.join(timeline_dir, TIMELINE_NAME),
+                    interval=interval,
+                    command=args.command,
+                )
+                set_heartbeat(heartbeat)
+                heartbeat.start()
             try:
                 with span("cli_command", command=args.command):
                     code = handlers[args.command](args)
@@ -1126,6 +1326,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         wall_seconds=perf_counter() - started,
                         exit_status="error" if failed else "ok",
                         exit_code=code,
+                        heartbeat=heartbeat,
                     )
                 except Exception as artifact_error:
                     print(
@@ -1136,6 +1337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         raise
         return code
     finally:
+        if slow_span_ms is not None:
+            set_slow_span_ms(previous_slow_span)
         if log_handler is not None:
             remove_json_logging(log_handler)
 

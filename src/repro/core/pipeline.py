@@ -21,7 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CH
 
 from repro.core.detectors.base import Detector
 from repro.core.detectors.key_compromise import KeyCompromiseDetector, RevocationJoinStats
-from repro.obs import get_registry, names, span
+from repro.obs import get_registry, names, phase_progress, span
 from repro.core.detectors.managed_tls import ManagedTlsDetector
 from repro.core.detectors.registrant_change import RegistrantChangeDetector
 from repro.core.stale import ClassAggregate, StaleCertificate, StalenessClass, StaleFindings
@@ -260,10 +260,14 @@ class MeasurementPipeline:
         revocation_stats: Optional[RevocationJoinStats] = None
 
         with span("pipeline_run"):
-            for spec in DETECTOR_REGISTRY:
-                if not spec.applies(self._bundle):
-                    continue
+            applicable = [
+                spec for spec in DETECTOR_REGISTRY if spec.applies(self._bundle)
+            ]
+            progress = phase_progress("detect_detectors")
+            progress.set_total(len(applicable))
+            for spec in applicable:
                 detector, _ = run_detector(spec, self._bundle, self._config, findings)
+                progress.add(1)
                 if spec.key == "key_compromise":
                     revocation_stats = detector.stats
 

@@ -324,6 +324,9 @@ class ExternalSorter:
         self._pending: List[Tuple] = []
         self._runs: List[Any] = []
         self._count = 0
+        #: Total bytes written to spill files so far — the generator's
+        #: ``gen_spill_bytes`` progress phase reads this.
+        self.spilled_bytes = 0
 
     def __len__(self) -> int:
         return self._count
@@ -355,6 +358,7 @@ class ExternalSorter:
             )
         pickle.dump(None, handle, protocol=pickle.HIGHEST_PROTOCOL)
         handle.flush()
+        self.spilled_bytes += handle.tell()
         self._runs.append(handle)
         self._pending = []
 

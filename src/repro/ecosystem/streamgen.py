@@ -39,7 +39,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.stale import StalenessClass
 from repro.data import schema
@@ -694,6 +694,13 @@ def emit_domain(ctx: GenContext, index: int) -> _DomainEmitter:
 #: Rows per emitted batch (bounds queue payloads and writer call rate).
 DEFAULT_BATCH_ROWS = 2048
 
+#: Domains between ``on_progress`` flushes in :func:`shard_rows` — keeps
+#: the live-progress cost amortised at large scales.
+PROGRESS_EVERY_DOMAINS = 64
+
+#: Callback signature: ``on_progress(domains_delta, spill_bytes_delta)``.
+ProgressCallback = Callable[[int, int], None]
+
 
 def shard_rows(
     ctx: GenContext,
@@ -701,15 +708,25 @@ def shard_rows(
     hi: int,
     dns_sorter: ExternalSorter,
     batch_rows: int = DEFAULT_BATCH_ROWS,
+    on_progress: Optional[ProgressCallback] = None,
 ) -> Iterator[Tuple[str, List[Tuple]]]:
     """Stream one shard's certs/revocations/whois batches, in canonical
     (domain-index-major) order; DNS rows go into *dns_sorter* for the
-    global (day, apex) sort."""
+    global (day, apex) sort.
+
+    *on_progress*, when given, is invoked every
+    :data:`PROGRESS_EVERY_DOMAINS` domains (and at shard end) with the
+    domains emitted and sorter bytes spilled since the previous call —
+    the hook the live timeline (and the genpool's cross-process progress
+    relay) hangs off.
+    """
     batches: Dict[str, List[Tuple]] = {
         schema.CERTS_TABLE: [],
         schema.REVOCATIONS_TABLE: [],
         schema.WHOIS_TABLE: [],
     }
+    pending_domains = 0
+    reported_spill = dns_sorter.spilled_bytes
     for index in range(lo, hi):
         emitter = emit_domain(ctx, index)
         batches[schema.CERTS_TABLE].extend(emitter.certs)
@@ -719,10 +736,19 @@ def shard_rows(
         batches[schema.WHOIS_TABLE].extend(emitter.whois)
         for row in emitter.dns:
             dns_sorter.add(row)
+        pending_domains += 1
+        if on_progress is not None and pending_domains >= PROGRESS_EVERY_DOMAINS:
+            on_progress(pending_domains, dns_sorter.spilled_bytes - reported_spill)
+            pending_domains = 0
+            reported_spill = dns_sorter.spilled_bytes
         for table in (schema.CERTS_TABLE, schema.REVOCATIONS_TABLE, schema.WHOIS_TABLE):
             if len(batches[table]) >= batch_rows:
                 yield table, batches[table]
                 batches[table] = []
+    if on_progress is not None and (
+        pending_domains or dns_sorter.spilled_bytes != reported_spill
+    ):
+        on_progress(pending_domains, dns_sorter.spilled_bytes - reported_spill)
     for table in (schema.CERTS_TABLE, schema.REVOCATIONS_TABLE, schema.WHOIS_TABLE):
         if batches[table]:
             yield table, batches[table]
@@ -750,11 +776,24 @@ def stream_rows(
     Shard count never changes the emitted rows — only which worker
     computes them — so any K yields an identical stream.
     """
+    from repro.obs import phase_progress
+
+    domains_p = phase_progress("gen_domains")
+    spill_p = phase_progress("gen_spill_bytes")
+    shards_p = phase_progress("gen_shards")
+    domains_p.set_total(ctx.plan.total_domains)
+    shards_p.set_total(shards)
+
+    def note(domains_delta: int, spill_delta: int) -> None:
+        domains_p.add(domains_delta)
+        spill_p.add(spill_delta)
+
     sorters: List[ExternalSorter] = []
     for lo, hi in shard_ranges(ctx.plan.total_domains, shards):
         sorter = ExternalSorter()
-        yield from shard_rows(ctx, lo, hi, sorter, batch_rows)
+        yield from shard_rows(ctx, lo, hi, sorter, batch_rows, on_progress=note)
         sorters.append(sorter)
+        shards_p.add(1)
     merged = heapq.merge(*[sorter.sorted_iter() for sorter in sorters])
     for batch in _batched(merged, batch_rows):
         yield schema.DNS_TABLE, batch
@@ -800,7 +839,7 @@ def save_streamed(
     segments roll every 64Ki rows. Returns per-table row counts.
     """
     from repro.data.dataset import DEFAULT_ROWS_PER_SEGMENT
-    from repro.obs import get_registry, names, span
+    from repro.obs import get_registry, names, phase_progress, span
 
     if use_processes is None:
         use_processes = shards > 1
@@ -812,6 +851,14 @@ def save_streamed(
     )
     rows_c = registry.counter(names.GEN_ROWS, names.GEN_ROWS_HELP, labels=("table",))
     domains_c = registry.counter(names.GEN_DOMAINS, names.GEN_DOMAINS_HELP)
+    # Row totals are unknown ahead of time (0 = indeterminate); done
+    # still advances per batch so the timeline shows per-table rates.
+    row_progress = {
+        schema.CERTS_TABLE: phase_progress("gen_rows_certs"),
+        schema.REVOCATIONS_TABLE: phase_progress("gen_rows_revocations"),
+        schema.WHOIS_TABLE: phase_progress("gen_rows_whois"),
+        schema.DNS_TABLE: phase_progress("gen_rows_dns"),
+    }
 
     writer = StreamingDatasetWriter(
         directory,
@@ -829,6 +876,7 @@ def save_streamed(
             for table, rows in batches:
                 writer.extend(table, rows)
                 rows_c.inc(len(rows), table=table)
+                row_progress[table].add(len(rows))
         domains_c.inc(ctx.plan.total_domains)
         with span("gen_finish"):
             counts = writer.finish()

@@ -134,6 +134,7 @@ class ProjectIndex:
         self.files = files
         self._classes: Optional[Dict[str, ClassInfo]] = None
         self._metric_constants: Optional[Set[str]] = None
+        self._progress_phases: Optional[Set[str]] = None
 
     @property
     def classes(self) -> Dict[str, ClassInfo]:
@@ -182,6 +183,41 @@ class ProjectIndex:
                     constants.add(stmt.target.id)
             self._metric_constants = constants
         return self._metric_constants
+
+    def progress_phases(self) -> Optional[Set[str]]:
+        """Phase names in ``repro.obs.names.PROGRESS_PHASES`` (AST-parsed).
+
+        Same contract as :meth:`metric_constants`: ``None`` when the
+        declaration cannot be found, so rules skip rather than guess.
+        """
+        if self._progress_phases is None:
+            ctx = self.find_file(self.METRIC_NAMES_SUFFIX)
+            if ctx is None:
+                ctx = self._read_names_module()
+            if ctx is None:
+                return None
+            phases: Set[str] = set()
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    targets = [stmt.target]
+                    value = stmt.value
+                else:
+                    continue
+                if not any(target.id == "PROGRESS_PHASES" for target in targets):
+                    continue
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            phases.add(element.value)
+            self._progress_phases = phases
+        return self._progress_phases
 
     def _read_names_module(self) -> Optional[FileContext]:
         import os

@@ -1,10 +1,17 @@
-"""Observability hygiene: RL301 metric names must come from repro.obs.names.
+"""Observability hygiene: metric names and live-telemetry invariants.
 
-The batch pipeline, shard workers, and stream engine all report into one
-metric namespace; a literal name at a call site (or a typo'd constant)
-silently splits a series in two — half the findings counted under one
-name, half under another — which is exactly the drift
+RL301 — the batch pipeline, shard workers, and stream engine all report
+into one metric namespace; a literal name at a call site (or a typo'd
+constant) silently splits a series in two — half the findings counted
+under one name, half under another — which is exactly the drift
 ``repro/obs/names.py`` exists to prevent.
+
+RL302 — the live-telemetry equivalents: progress phases must be string
+literals declared in ``repro.obs.names.PROGRESS_PHASES`` (an undeclared
+or dynamic phase forks the timeline the same way a literal metric name
+forks a series), and every ``threading.Thread`` in engine code must be
+a daemon (a non-daemon sampler thread turns a crashed run into a hung
+process — the one failure mode a heartbeat must never add).
 """
 
 from __future__ import annotations
@@ -111,4 +118,94 @@ class MetricNameRule(ProjectRule):
             name_arg,
             "metric name is not a repro.obs.names constant; dynamic names "
             "fragment the shared series namespace",
+        )
+
+
+PHASE_PROGRESS_CALLS = (
+    "repro.obs.phase_progress",
+    "repro.obs.live.phase_progress",
+)
+
+
+@register
+class LiveTelemetryRule(ProjectRule):
+    """RL302: progress phases declared in names.py; samplers daemonized."""
+
+    code = "RL302"
+    name = "live-telemetry-hygiene"
+    rationale = (
+        "Live timelines aggregate by phase name across engines, so every "
+        "phase_progress() call must pass a string literal declared in "
+        "repro.obs.names.PROGRESS_PHASES — a dynamic or undeclared phase "
+        "forks the timeline silently; and background threads in engine "
+        "code must be daemon=True so a crashed run exits instead of "
+        "hanging on its own sampler."
+    )
+    scope = ("src/repro/",)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        declared = index.progress_phases()
+        for path in sorted(index.files):
+            if not self.applies_to(path):
+                continue
+            ctx = index.files[path]
+            imports = ImportMap(ctx.tree)
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = imports.resolve_call(node)
+                if target in PHASE_PROGRESS_CALLS:
+                    finding = self._check_phase(ctx, node, declared)
+                    if finding is not None:
+                        yield finding
+                elif target == "threading.Thread":
+                    finding = self._check_thread(ctx, node)
+                    if finding is not None:
+                        yield finding
+
+    def _check_phase(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        declared: Optional[Set[str]],
+    ) -> Optional[Finding]:
+        if not node.args:
+            return ctx.finding(
+                self, node, "phase_progress() needs a literal phase name"
+            )
+        phase_arg = node.args[0]
+        if not (
+            isinstance(phase_arg, ast.Constant)
+            and isinstance(phase_arg.value, str)
+        ):
+            return ctx.finding(
+                self,
+                phase_arg,
+                "progress phase must be a string literal (dynamic phase "
+                "names fork the timeline and defeat this very check)",
+            )
+        if declared is not None and phase_arg.value not in declared:
+            return ctx.finding(
+                self,
+                phase_arg,
+                f"progress phase {phase_arg.value!r} is not declared in "
+                "repro.obs.names.PROGRESS_PHASES",
+            )
+        return None
+
+    def _check_thread(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Optional[Finding]:
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "daemon"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return None
+        return ctx.finding(
+            self,
+            node,
+            "threading.Thread in engine code must pass daemon=True; a "
+            "non-daemon background thread keeps a crashed run alive",
         )

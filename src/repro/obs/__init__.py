@@ -29,6 +29,13 @@ self/cumulative time and the cross-lane critical path
 metric families and span profiles against a regression threshold
 (``repro obs-diff RUN_A RUN_B``). :mod:`repro.obs.runmeta` writes the
 ``run.json`` manifest tying a run's artifacts together.
+
+Live telemetry (PR 9) adds the in-flight view: :mod:`repro.obs.live`
+runs a heartbeat thread (``--heartbeat SECS``) that appends versioned
+JSON snapshots — progress gauges with rate/ETA, registry samples,
+process RSS, open spans — to a crash-durable ``timeline.jsonl``
+(:mod:`repro.obs.timeline`), rendered live or post-hoc by
+``repro top`` (:mod:`repro.obs.topview`) and ``repro obs-timeline``.
 """
 
 from repro.obs import names
@@ -51,7 +58,29 @@ from repro.obs.metrics import (
     set_default_registry,
     use_registry,
 )
-from repro.obs.trace import Span, current_span, span
+from repro.obs.live import (
+    Heartbeat,
+    PhaseProgress,
+    get_heartbeat,
+    phase_progress,
+    read_rss_bytes,
+    set_heartbeat,
+    use_heartbeat,
+)
+from repro.obs.timeline import (
+    TIMELINE_NAME,
+    TimelineWriter,
+    read_timeline,
+    summarize_timeline,
+)
+from repro.obs.trace import (
+    Span,
+    current_span,
+    get_slow_span_ms,
+    open_spans,
+    set_slow_span_ms,
+    span,
+)
 from repro.obs.traceout import (
     TraceCollector,
     get_collector,
@@ -64,25 +93,39 @@ __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "HistogramData",
     "JsonLogHandler",
     "MetricsRegistry",
+    "PhaseProgress",
     "Span",
+    "TIMELINE_NAME",
+    "TimelineWriter",
     "TraceCollector",
     "configure_json_logging",
     "current_span",
     "get_collector",
+    "get_heartbeat",
     "get_logger",
     "get_registry",
+    "get_slow_span_ms",
     "load_trace",
     "log",
     "names",
+    "open_spans",
     "parse_text",
+    "phase_progress",
+    "read_rss_bytes",
+    "read_timeline",
     "remove_json_logging",
     "set_default_collector",
     "set_default_registry",
+    "set_heartbeat",
+    "set_slow_span_ms",
     "span",
+    "summarize_timeline",
     "use_collector",
+    "use_heartbeat",
     "use_registry",
 ]

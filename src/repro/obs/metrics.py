@@ -341,6 +341,17 @@ class MetricsRegistry:
                         )
         return "\n".join(lines) + ("\n" if lines else "")
 
+    def flat_samples(self) -> Dict[str, float]:
+        """One flat ``{'name{label="v"}': value}`` mapping of every sample.
+
+        Exactly the series :func:`parse_text` recovers from
+        :meth:`render_text` — histogram buckets appear as cumulative
+        ``_bucket{...,le="..."}`` series plus ``_sum``/``_count``. The
+        heartbeat's timeline snapshots use this, so a run's final
+        snapshot and its ``metrics.prom`` agree by construction.
+        """
+        return parse_text(self.render_text())
+
     def write_textfile(self, path: str) -> str:
         """Atomically write :meth:`render_text` output (textfile-collector style)."""
         directory = os.path.dirname(os.path.abspath(path))

@@ -95,6 +95,43 @@ GEN_DNS_STRIDE_HELP = (
     "(1 = every day in the scan window)."
 )
 
+# -- live progress / heartbeat (repro.obs.live) ------------------------------
+
+PROGRESS_DONE = "repro_progress_done"
+PROGRESS_DONE_HELP = "Work units completed so far, by phase."
+
+PROGRESS_TOTAL = "repro_progress_total"
+PROGRESS_TOTAL_HELP = (
+    "Work units expected for the phase (0 = unknown ahead of time)."
+)
+
+HEARTBEAT_SNAPSHOTS = "repro_heartbeat_snapshots_total"
+HEARTBEAT_SNAPSHOTS_HELP = "Timeline snapshots appended by the heartbeat."
+
+PROCESS_RSS_BYTES = "repro_process_rss_bytes"
+PROCESS_RSS_BYTES_HELP = "Resident set size sampled by the heartbeat."
+
+#: Declared progress phases — the ``phase`` label values the engines may
+#: report through :func:`repro.obs.live.phase_progress`. RL302 enforces
+#: that every call site uses a phase declared here, for the same reason
+#: RL301 pins metric names: an undeclared phase silently splits the
+#: progress timeline the moment a second call site drifts.
+PROGRESS_PHASES = (
+    "load_bundle",
+    "detect_detectors",
+    "detect_shards",
+    "stream_days",
+    "stream_events",
+    "gen_shards",
+    "gen_domains",
+    "gen_rows_certs",
+    "gen_rows_revocations",
+    "gen_rows_whois",
+    "gen_rows_dns",
+    "gen_spill_bytes",
+    "serve_index_build",
+)
+
 # -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"

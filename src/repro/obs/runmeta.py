@@ -67,6 +67,9 @@ def build_run_manifest(
     trace_path: Optional[str] = None,
     trace_events: Optional[int] = None,
     trace_dropped: Optional[int] = None,
+    timeline_path: Optional[str] = None,
+    timeline_snapshots: Optional[int] = None,
+    heartbeat_seconds: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest document (pure data; write it separately)."""
     return {
@@ -88,16 +91,27 @@ def build_run_manifest(
         "trace_path": trace_path,
         "trace_events": trace_events,
         "trace_dropped": trace_dropped,
+        "timeline_path": timeline_path,
+        "timeline_snapshots": timeline_snapshots,
+        "heartbeat_seconds": heartbeat_seconds,
     }
 
 
 def write_run_manifest(path: str, manifest: Mapping[str, Any]) -> str:
     """Atomically write *manifest* as JSON; artifact paths are stored
-    relative to the manifest's directory when possible."""
+    relative to the manifest's directory when possible.
+
+    Every ``*_path`` field is relativized — not a fixed list — so a new
+    sibling artifact (``timeline_path`` was the latest) is portable the
+    moment it is added, even when the caller passed ``--metrics-out`` as
+    an absolute path into a different directory.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     document = dict(manifest)
-    for key in ("metrics_path", "trace_path"):
+    for key in sorted(document):
+        if not key.endswith("_path"):
+            continue
         value = document.get(key)
         if value:
             try:

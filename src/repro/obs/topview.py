@@ -1,0 +1,218 @@
+"""``python -m repro top`` — a live console view over ``timeline.jsonl``.
+
+No curses, no dependencies: live mode repaints the screen with two ANSI
+escapes per frame (cursor-home + clear), and ``--once`` prints a single
+plain-text frame — deterministic for a fixed timeline file, which is how
+the golden-snapshot test pins the layout. All state comes from the
+timeline itself (the run's own clock), never from the viewer's wall
+clock, so a finished run renders identically forever.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs.timeline import (
+    TIMELINE_NAME,
+    read_timeline,
+    snapshots,
+    timeline_meta,
+)
+
+#: Eight-level block ramp for the RSS sparkline.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+BAR_WIDTH = 24
+SPARK_WIDTH = 32
+MAX_SPAN_ROWS = 5
+
+ANSI_REPAINT = "\x1b[H\x1b[2J"
+
+
+def format_count(value: float) -> str:
+    """Human-scale integer formatting: 1234567 → ``1.23M``."""
+    value = float(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    if value.is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{rem:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def progress_bar(done: float, total: float, width: int = BAR_WIDTH) -> str:
+    """``[######----------]`` — indeterminate phases render as dots."""
+    if total <= 0:
+        return "[" + "·" * width + "]"
+    fraction = min(1.0, done / total)
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def sparkline(series: List[float], width: int = SPARK_WIDTH) -> str:
+    """Block-character sparkline of *series*, downsampled to *width*."""
+    values = [float(v) for v in series if v is not None]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Last value of each of `width` even chunks — keeps the endpoint.
+        step = len(values) / width
+        values = [values[min(len(values) - 1, int((i + 1) * step) - 1)]
+                  for i in range(width)]
+    low, high = min(values), max(values)
+    if high <= low:
+        return SPARK_CHARS[0] * len(values)
+    scale = (len(SPARK_CHARS) - 1) / (high - low)
+    return "".join(SPARK_CHARS[int((v - low) * scale)] for v in values)
+
+
+def _phase_lines(last: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    phases = last.get("phases") or {}
+    if not phases:
+        return ["  (no progress phases reported yet)"]
+    name_width = max(len(name) for name in phases)
+    for name in sorted(phases):
+        row = phases[name]
+        done = float(row.get("done", 0.0))
+        total = float(row.get("total", 0.0))
+        bar = progress_bar(done, total)
+        if total > 0:
+            pct = f"{min(100.0, 100.0 * done / total):5.1f}%"
+            amount = f"{format_count(done)}/{format_count(total)}"
+        else:
+            pct = "    -"
+            amount = format_count(done)
+        rate = row.get("rate")
+        rate_text = f"{format_count(rate)}/s" if rate else "-"
+        eta_text = format_duration(row.get("eta_seconds")) if row.get(
+            "eta_seconds") is not None else "-"
+        lines.append(
+            f"  {name:<{name_width}}  {bar} {pct}  {amount:>15}  "
+            f"{rate_text:>10}  eta {eta_text}"
+        )
+    return lines
+
+
+def _span_lines(last: Dict[str, Any]) -> List[str]:
+    spans = last.get("open_spans") or []
+    if not spans:
+        return ["  (none)"]
+    lines = []
+    for span in spans[:MAX_SPAN_ROWS]:
+        indent = "  " * int(span.get("depth", 0))
+        parent = span.get("parent")
+        suffix = f"  (in {parent})" if parent else ""
+        lines.append(
+            f"  {format_duration(span.get('seconds')):>8}  "
+            f"{indent}{span.get('name')}{suffix}"
+        )
+    return lines
+
+
+def render_frame(records: List[Dict[str, Any]], width: int = 80) -> str:
+    """One full console frame for a timeline — pure function of *records*."""
+    meta = timeline_meta(records)
+    snaps = snapshots(records)
+    title = meta.get("command") or "repro run"
+    header = f"repro top — {title}"
+    lines = [header, "=" * min(width, max(len(header), 20))]
+    if not snaps:
+        lines.append("(no snapshots yet — heartbeat warming up)")
+        return "\n".join(lines) + "\n"
+
+    last = snaps[-1]
+    status = "finished" if last.get("final") else "running"
+    lines.append(
+        f"status: {status}   elapsed: {format_duration(last.get('elapsed'))}   "
+        f"snapshots: {len(snaps)}   heartbeat: {meta.get('heartbeat_seconds')}s"
+    )
+    markers = [r for r in records if r.get("kind") == "marker"]
+    for marker in markers:
+        fields = {k: v for k, v in marker.items()
+                  if k not in ("kind", "ts", "elapsed")}
+        if fields:
+            text = ", ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            lines.append(f"marker @ {format_duration(marker.get('elapsed'))}: {text}")
+
+    lines.append("")
+    lines.append("progress")
+    lines.extend(_phase_lines(last))
+
+    rss_series = [s.get("rss_bytes") for s in snaps if s.get("rss_bytes")]
+    lines.append("")
+    if rss_series:
+        current_mib = rss_series[-1] / (1024 * 1024)
+        peak_mib = max(rss_series) / (1024 * 1024)
+        lines.append(
+            f"rss  {sparkline(rss_series)}  "
+            f"{current_mib:.1f} MiB (peak {peak_mib:.1f} MiB)"
+        )
+    else:
+        lines.append("rss  (unavailable)")
+
+    lines.append("")
+    lines.append("open spans (longest first)")
+    lines.extend(_span_lines(last))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    path: str,
+    once: bool = False,
+    interval: float = 1.0,
+    stream: Optional[TextIO] = None,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Entry point behind ``repro top RUN_DIR``.
+
+    ``--once`` prints a single frame and exits. Live mode repaints every
+    *interval* seconds until the timeline's final snapshot appears (or
+    Ctrl-C). *max_frames* bounds live mode for tests.
+    """
+    out = stream if stream is not None else sys.stdout
+    frames = 0
+    while True:
+        records = read_timeline(path)
+        frame = render_frame(records)
+        if once:
+            out.write(frame)
+            return 0
+        out.write(ANSI_REPAINT + frame)
+        out.flush()
+        frames += 1
+        snaps = snapshots(records)
+        if snaps and snaps[-1].get("final"):
+            return 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+__all__ = [
+    "TIMELINE_NAME",
+    "format_count",
+    "format_duration",
+    "progress_bar",
+    "render_frame",
+    "run_top",
+    "sparkline",
+]

@@ -19,17 +19,27 @@ With no collector active, the trace path costs a single ``None`` check.
 
 Spans nest per thread; :func:`current_span` exposes the innermost open
 span so deeply nested code can attach context without threading a handle
-through every call.
+through every call. :func:`open_spans` snapshots every *currently open*
+span across all threads — the heartbeat samples it so a live timeline
+shows what a wedged run is stuck inside.
+
+Slow-span logging: :func:`set_slow_span_ms` (or the ``REPRO_SLOW_SPAN_MS``
+environment variable, surfaced as ``--slow-span-ms`` on the CLI) arms a
+threshold; any span at or over it emits a WARNING-level ``slow_span``
+record carrying the span name, duration, and full parent chain. The
+default is off, and the off path is a single ``None`` check with no
+extra allocation.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.obs import names
 from repro.obs.log import log
@@ -37,6 +47,45 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.traceout import get_collector
 
 _STACK = threading.local()
+
+# Cross-thread view of every thread's open-span stack, keyed by thread
+# ident, so the heartbeat can report what other threads are inside. The
+# stacks themselves are only mutated by their owning thread; the dict is
+# guarded for registration/iteration. Deliberately process-global (like
+# the executor fork channel): written per-thread, read-only elsewhere.
+_OPEN_STACKS: Dict[int, List["Span"]] = {}  # repro-lint: disable=RL201
+_OPEN_LOCK = threading.Lock()
+
+#: Environment variable arming the slow-span log outside the CLI.
+SLOW_SPAN_ENV = "REPRO_SLOW_SPAN_MS"
+
+
+def _env_slow_span_ms() -> Optional[float]:
+    raw = os.environ.get(SLOW_SPAN_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+_SLOW_SPAN_MS: Optional[float] = _env_slow_span_ms()
+
+
+def set_slow_span_ms(value: Optional[float]) -> Optional[float]:
+    """Arm (or, with ``None``, disarm) the slow-span log; returns the
+    previous threshold so callers can restore it."""
+    global _SLOW_SPAN_MS
+    previous = _SLOW_SPAN_MS
+    _SLOW_SPAN_MS = value if value is not None and value >= 0 else None
+    return previous
+
+
+def get_slow_span_ms() -> Optional[float]:
+    """The active slow-span threshold in milliseconds, or ``None`` (off)."""
+    return _SLOW_SPAN_MS
 
 
 @dataclass
@@ -49,6 +98,9 @@ class Span:
     parent: Optional[str] = None
     seconds: Optional[float] = None
     status: str = "ok"
+    #: ``perf_counter()`` at entry; lets :func:`open_spans` report how
+    #: long a still-open span has been running.
+    started: Optional[float] = None
 
 
 def _spans() -> List[Span]:
@@ -56,6 +108,8 @@ def _spans() -> List[Span]:
     if stack is None:
         stack = []
         _STACK.spans = stack
+        with _OPEN_LOCK:
+            _OPEN_STACKS[threading.get_ident()] = stack
     return stack
 
 
@@ -63,6 +117,52 @@ def current_span() -> Optional[Span]:
     """The innermost open span on this thread, or ``None``."""
     stack = _spans()
     return stack[-1] if stack else None
+
+
+def open_spans() -> List[Dict[str, Any]]:
+    """Snapshot every currently open span, across all threads.
+
+    Returns dicts with ``name``, ``seconds`` (open so far), ``depth``,
+    ``parent``, and ``thread``, longest-open first. The read is lock-free
+    against the owning threads (list copies under the GIL), so a racing
+    push/pop at worst misses or double-counts one frame — fine for a
+    telemetry sample.
+    """
+    now = perf_counter()
+    with _OPEN_LOCK:
+        stacks = [
+            (ident, list(stack)) for ident, stack in _OPEN_STACKS.items() if stack
+        ]
+    snapshot: List[Dict[str, Any]] = []
+    for ident, stack in stacks:
+        for span_obj in stack:
+            if span_obj.started is None:
+                continue
+            snapshot.append(
+                {
+                    "name": span_obj.name,
+                    "seconds": now - span_obj.started,
+                    "depth": span_obj.depth,
+                    "parent": span_obj.parent,
+                    "thread": ident,
+                }
+            )
+    snapshot.sort(key=lambda record: (-record["seconds"], record["name"]))
+    return snapshot
+
+
+def _emit_slow_span(current: Span, ancestors: Sequence[Span]) -> None:
+    """WARNING-level record for one span at/over the armed threshold."""
+    log(
+        "slow_span",
+        level=logging.WARNING,
+        name=current.name,
+        duration_ms=round((current.seconds or 0.0) * 1000.0, 3),
+        threshold_ms=_SLOW_SPAN_MS,
+        status=current.status,
+        parent_chain=[span_obj.name for span_obj in ancestors],
+        **current.attrs,
+    )
 
 
 @contextmanager
@@ -86,6 +186,7 @@ def span(
     if collector is not None:
         collector.record_begin(name, current.attrs or None)
     started = perf_counter()
+    current.started = started
     try:
         yield current
     except BaseException:
@@ -104,6 +205,10 @@ def span(
             active_registry.counter(
                 names.SPAN_EXCEPTIONS, names.SPAN_EXCEPTIONS_HELP, labels=("name",)
             ).inc(name=name)
+        # Off path is one None check: the parent chain is only built for
+        # spans that actually cross the armed threshold.
+        if _SLOW_SPAN_MS is not None and current.seconds * 1000.0 >= _SLOW_SPAN_MS:
+            _emit_slow_span(current, stack)
         log(
             "span",
             level=logging.DEBUG,

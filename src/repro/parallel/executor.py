@@ -18,16 +18,18 @@ Two executors implement the same ``run(plan, config)`` contract:
   submitted as bare shard indexes (no input pickling). On ``spawn``
   platforms it falls back to pickling ``(shard, config)`` payloads.
 
-``pool.map`` preserves submission order, so outcomes always come back in
-shard-index order — the merge in
-:class:`~repro.parallel.pipeline.ParallelMeasurementPipeline` is
-deterministic without re-sorting outcomes.
+Shards are submitted as futures and collected ``as_completed`` — the
+``detect_shards`` progress gauge advances the moment each shard lands, so
+a live timeline sees inside the pool — but outcomes are slotted back into
+an index-keyed list, so the merge in
+:class:`~repro.parallel.pipeline.ParallelMeasurementPipeline` stays
+deterministic regardless of completion order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -36,7 +38,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.detectors.key_compromise import RevocationJoinStats
 from repro.core.pipeline import DETECTOR_REGISTRY, PipelineConfig, run_detector
 from repro.core.stale import StaleCertificate, StaleFindings
-from repro.obs import MetricsRegistry, TraceCollector, span, use_collector, use_registry
+from repro.obs import (
+    MetricsRegistry,
+    TraceCollector,
+    phase_progress,
+    span,
+    use_collector,
+    use_registry,
+)
 from repro.parallel.sharding import BundleShard, ShardPlan
 from repro.util.dates import Day
 
@@ -132,7 +141,13 @@ class SerialExecutor:
     name = "serial"
 
     def run(self, plan: ShardPlan, config: WorkerConfig) -> List[ShardOutcome]:
-        return [run_shard(shard, config) for shard in plan.shards]
+        progress = phase_progress("detect_shards")
+        progress.set_total(len(plan.shards))
+        outcomes = []
+        for shard in plan.shards:
+            outcomes.append(run_shard(shard, config))
+            progress.add(1)
+        return outcomes
 
 
 # Module globals inherited by forked pool workers (zero input pickling).
@@ -168,21 +183,31 @@ class ProcessPoolShardExecutor:
         global _FORK_PLAN, _FORK_CONFIG
         use_fork = multiprocessing.get_start_method(allow_none=True) in (None, "fork")
         workers = min(self._workers, len(plan.shards))
+        progress = phase_progress("detect_shards")
+        progress.set_total(len(plan.shards))
         if use_fork:
             _FORK_PLAN, _FORK_CONFIG = plan, config
         try:
+            # submit + as_completed (not pool.map) so the progress gauge
+            # advances per landing shard; outcomes are slotted by index
+            # to keep the downstream merge order-independent.
+            slots: List[Optional[ShardOutcome]] = [None] * len(plan.shards)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 if use_fork:
-                    outcomes = list(
-                        pool.map(_run_shard_by_index, range(len(plan.shards)))
-                    )
+                    futures = {
+                        pool.submit(_run_shard_by_index, index): index
+                        for index in range(len(plan.shards))
+                    }
                 else:
-                    outcomes = list(
-                        pool.map(
-                            _run_shard_payload,
-                            [(shard, config) for shard in plan.shards],
-                        )
-                    )
+                    futures = {
+                        pool.submit(_run_shard_payload, (shard, config)): position
+                        for position, shard in enumerate(plan.shards)
+                    }
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    slots[futures[future]] = outcome
+                    progress.add(1)
+            outcomes = [outcome for outcome in slots if outcome is not None]
         finally:
             if use_fork:
                 _FORK_PLAN = _FORK_CONFIG = None

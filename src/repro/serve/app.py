@@ -12,10 +12,13 @@ GET      ``/v1/domains/{domain}``       per-domain findings across all classes
 GET      ``/v1/aggregates?by=...``      grouped counts (``class``/``issuer``/``year``)
 GET      ``/v1/survival?class=...``     survival-curve slices (Figure 8)
 GET      ``/v1/whatif/caps?days=...``   lifetime-cap reductions (Section 6)
+GET      ``/metrics``                   Prometheus text exposition of the live registry
 =======  =============================  =============================================
 
 Every response — success or failure — is a JSON document with sorted
-keys, so identical queries produce byte-identical bodies. Failures use
+keys, so identical queries produce byte-identical bodies (the one
+exception is ``/metrics``, whose body is the Prometheus text exposition
+format so a running server is scrapeable, not just file-dumpable). Failures use
 one error model and **never** leak a traceback::
 
     {"error": {"status": 404, "code": "unknown_domain", "message": "..."}}
@@ -124,9 +127,25 @@ class StalenessApp:
         path = environ.get("PATH_INFO") or "/"
         query = parse_qs(environ.get("QUERY_STRING") or "", keep_blank_values=True)
         route, handler, argument = self._resolve(path)
+        content_type = "application/json; charset=utf-8"
         with span("serve_request", route=route, method=method):
-            status, payload = self._dispatch(route, handler, argument, method, query)
-            body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+            if route == "/metrics" and method in ("GET", "HEAD"):
+                # Scrape endpoint: the live registry in Prometheus text
+                # exposition — the same bytes --metrics-out would write.
+                status = 200
+                body = get_registry().render_text().encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif route == "/metrics":
+                status, payload = json_error(
+                    405, "method_not_allowed",
+                    f"{method} not supported; this API is read-only (GET/HEAD)",
+                )
+                body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+            else:
+                status, payload = self._dispatch(
+                    route, handler, argument, method, query
+                )
+                body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
         registry = get_registry()
         registry.counter(
             names.SERVE_REQUESTS, names.SERVE_REQUESTS_HELP,
@@ -137,7 +156,7 @@ class StalenessApp:
             labels=("route",),
         ).observe(perf_counter() - started, route=route)
         headers = [
-            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Type", content_type),
             ("Content-Length", str(len(body))),
         ]
         if status == 405:
@@ -187,6 +206,9 @@ class StalenessApp:
         self, path: str
     ) -> Tuple[str, Optional[Callable[..., dict]], Optional[str]]:
         """Match a raw path to (route template, handler, path argument)."""
+        if path == "/metrics":
+            # Text exposition, not JSON — handled specially in __call__.
+            return "/metrics", None, None
         if path.startswith("/v1/domains/"):
             remainder = unquote(path[len("/v1/domains/"):])
             if remainder and "/" not in remainder:

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.lifetime import LifetimePolicySimulator
 from repro.core.pipeline import PipelineResult
 from repro.core.stale import StaleCertificate, StalenessClass
-from repro.obs import get_registry, names, span
+from repro.obs import get_registry, names, phase_progress, span
 from repro.parallel.pipeline import canonical_order_key
 from repro.psl.registered import e2ld
 from repro.util.dates import Day, day_to_iso, year_of
@@ -135,7 +135,12 @@ class FindingsIndex:
 
     def _build(self, result: PipelineResult) -> None:
         findings = sorted(result.findings.all_findings(), key=canonical_order_key)
-        self._records: List[dict] = [_finding_record(f) for f in findings]
+        progress = phase_progress("serve_index_build")
+        progress.set_total(len(findings))
+        self._records: List[dict] = []
+        for finding in findings:
+            self._records.append(_finding_record(finding))
+            progress.add(1)
         self._stale_from: List[Day] = [f.stale_from for f in findings]
         self._stale_until: List[Day] = [f.stale_until for f in findings]
 

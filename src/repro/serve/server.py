@@ -104,15 +104,25 @@ def warm_check(app: StalenessApp) -> dict:
         ("/v1/aggregates", "by=volume", "GET", 400),
         ("/v1/whatif/caps", "days=0", "GET", 400),
         ("/health", "", "POST", 405),
+        ("/metrics", "", "GET", 200),
     ]
     checks: List[dict] = []
     failures = 0
     for path, query, method, expected in probes:
         response = call_app(app, path, query=query, method=method)
-        payload = response.json()
-        ok = response.status == expected and isinstance(payload, dict)
-        if response.status >= 400:
-            ok = ok and set(payload) == {"error"}
+        if path == "/metrics":
+            # Text exposition, not JSON: passing means 200 with the
+            # Prometheus content type and at least one sample line.
+            ok = (
+                response.status == expected
+                and response.headers.get("Content-Type", "").startswith("text/plain")
+                and b"repro_" in response.body
+            )
+        else:
+            payload = response.json()
+            ok = response.status == expected and isinstance(payload, dict)
+            if response.status >= 400:
+                ok = ok and set(payload) == {"error"}
         if not ok:
             failures += 1
         checks.append(

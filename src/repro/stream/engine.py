@@ -40,7 +40,7 @@ from repro.stream.events import (
     StaleFindingEmitted,
     WhoisCreationObserved,
 )
-from repro.obs import span
+from repro.obs import get_heartbeat, phase_progress, span
 from repro.stream.metrics import StreamStats
 from repro.util.dates import Day
 
@@ -269,11 +269,21 @@ class StreamEngine:
 
         with span("stream_replay"):
             events = build_event_stream(self._bundle)
+            day_progress = phase_progress("stream_days", self._registry)
+            event_progress = phase_progress("stream_events", self._registry)
+            total_days = len({event.day for event in events})
+            day_progress.set_total(total_days)
+            event_progress.set_total(len(events))
             days_this_run = 0
             since_checkpoint = 0
             exhausted = True
             for day, day_events in groupby(events, key=lambda event: event.day):
+                day_events = list(day_events)
                 if self._cursor is not None and day <= self._cursor:
+                    # Skipped prefix still counts as done work: the resumed
+                    # timeline starts from the checkpoint's position, not 0.
+                    day_progress.add(1)
+                    event_progress.add(len(day_events))
                     continue  # already processed before the kill
                 if through_day is not None and day > through_day:
                     exhausted = False
@@ -285,6 +295,8 @@ class StreamEngine:
                 self.bus.publish_all(day_events)
                 self.bus.drain()
                 self.stats.record_day(day)
+                day_progress.add(1)
+                event_progress.add(len(day_events))
                 self._cursor = day
                 days_this_run += 1
                 since_checkpoint += 1
@@ -350,6 +362,11 @@ class StreamEngine:
             )
         self._cursor = state.get("cursor_day")
         self._finalized = state.get("finalized", False)
+        heartbeat = get_heartbeat()
+        if heartbeat is not None:
+            # The resumed run writes a fresh timeline; this marker ties it
+            # back to the checkpoint it picked up from.
+            heartbeat.mark(resumed_from=self._cursor)
         self.stats.bind_registry(None)  # detach the pre-restore stats
         self.stats = StreamStats.from_record(state.get("stats", {}))
         self.stats.resumed_from_day = self._cursor

@@ -1,0 +1,14 @@
+"""RL302 bad: dynamic phase, undeclared phase, non-daemon thread."""
+
+import threading
+
+from repro.obs import phase_progress
+
+
+def instrument(name, total):
+    dynamic = phase_progress(name)
+    dynamic.set_total(total)
+    undeclared = phase_progress("warp_drive")
+    undeclared.add(1)
+    sampler = threading.Thread(target=instrument, args=(name, total))
+    sampler.start()

@@ -1,0 +1,13 @@
+"""RL302 good: declared literal phases and a daemonized sampler thread."""
+
+import threading
+
+from repro.obs import phase_progress
+
+
+def instrument(total):
+    progress = phase_progress("stream_days")
+    progress.set_total(total)
+    progress.add(1)
+    sampler = threading.Thread(target=instrument, args=(total,), daemon=True)
+    sampler.start()

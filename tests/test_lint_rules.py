@@ -100,6 +100,22 @@ class TestRuleDetails:
         assert "not declared" in messages
         assert "repro.cli" in messages
 
+    def test_live_telemetry_reports_each_failure_mode(self):
+        findings = lint_fixture(
+            FIXTURE_DIR / "rl302_bad_live_telemetry.py", "RL302"
+        )
+        messages = [f.message for f in findings if f.code == "RL302"]
+        assert len(messages) == 3
+        joined = " / ".join(messages)
+        assert "string literal" in joined
+        assert "not declared" in joined
+        assert "daemon=True" in joined
+
+    def test_live_telemetry_scope_excludes_tests(self):
+        source = "import threading\nT = threading.Thread(target=print)\n"
+        findings = LintRunner().run_source(source, "tests/test_x.py")
+        assert not [f for f in findings if f.code == "RL302"]
+
     def test_bare_except_carries_fix(self):
         findings = lint_fixture(FIXTURE_DIR / "rl501_bad_bare_except.py", "RL501")
         assert any(f.code == "RL501" and f.fixable for f in findings)

@@ -1,0 +1,153 @@
+"""``repro top``: formatting helpers and the golden-frame snapshot.
+
+``render_frame`` is a pure function of the timeline records — no wall
+clock, no terminal size probing — so a committed fixture timeline must
+render byte-identically forever. The golden file pins the layout; update
+both together when the frame format deliberately changes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.timeline import read_timeline
+from repro.obs.topview import (
+    format_count,
+    format_duration,
+    progress_bar,
+    render_frame,
+    run_top,
+    sparkline,
+)
+
+FIXTURES = Path(__file__).parent / "obs_fixtures"
+FIXTURE_TIMELINE = FIXTURES / "timeline_fixture.jsonl"
+GOLDEN_FRAME = FIXTURES / "topview_golden.txt"
+
+
+class TestFormatting:
+    def test_format_count(self):
+        assert format_count(7) == "7"
+        assert format_count(1234) == "1.23k"
+        assert format_count(2_500_000) == "2.50M"
+        assert format_count(3_000_000_000) == "3.00G"
+        assert format_count(1.5) == "1.50"
+
+    def test_format_duration(self):
+        assert format_duration(None) == "-"
+        assert format_duration(2.34) == "2.3s"
+        assert format_duration(123) == "2m03s"
+        assert format_duration(3723) == "1h02m"
+
+    def test_progress_bar(self):
+        assert progress_bar(0, 10, width=4) == "[----]"
+        assert progress_bar(5, 10, width=4) == "[##--]"
+        assert progress_bar(10, 10, width=4) == "[####]"
+        assert progress_bar(20, 10, width=4) == "[####]"  # clamped
+        assert progress_bar(3, 0, width=4) == "[····]"  # indeterminate
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        ramp = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert ramp[0] == "▁" and ramp[-1] == "█"
+        assert len(sparkline(list(range(100)), width=16)) == 16
+        # Downsampling keeps the endpoint.
+        assert sparkline(list(range(100)), width=16)[-1] == "█"
+
+
+class TestGoldenFrame:
+    def test_fixture_renders_exactly_the_golden(self):
+        frame = render_frame(read_timeline(str(FIXTURE_TIMELINE)))
+        assert frame == GOLDEN_FRAME.read_text()
+
+    def test_golden_contains_the_load_bearing_parts(self):
+        golden = GOLDEN_FRAME.read_text()
+        assert "status: finished" in golden
+        assert "resumed_from=736248" in golden
+        assert "detect_shards" in golden
+        assert "100.0%" in golden
+        assert "peak 150.0 MiB" in golden
+
+    def test_empty_timeline_renders_warmup_notice(self):
+        frame = render_frame([{"kind": "meta", "command": "detect"}])
+        assert "heartbeat warming up" in frame
+
+    def test_running_timeline_shows_open_spans_and_eta(self):
+        records = read_timeline(str(FIXTURE_TIMELINE))
+        # Drop the final snapshot: the run looks live at snapshot 2.
+        running = [r for r in records if r.get("seq") != 3]
+        frame = render_frame(running)
+        assert "status: running" in frame
+        assert "detect_shard" in frame  # open span listed
+        assert "eta 0.7s" in frame
+
+
+class TestRunTop:
+    def test_once_prints_single_plain_frame(self):
+        out = io.StringIO()
+        assert run_top(str(FIXTURE_TIMELINE), once=True, stream=out) == 0
+        assert out.getvalue() == GOLDEN_FRAME.read_text()
+        assert "\x1b[" not in out.getvalue()
+
+    def test_live_mode_repaints_until_final(self):
+        out = io.StringIO()
+        assert run_top(
+            str(FIXTURE_TIMELINE), once=False, interval=0.01, stream=out
+        ) == 0
+        text = out.getvalue()
+        assert text.startswith("\x1b[H\x1b[2J")
+        assert text.count("repro top — detect") == 1  # final frame stops it
+
+    def test_cli_top_once(self, capsys):
+        assert main(["top", str(FIXTURE_TIMELINE), "--once"]) == 0
+        assert capsys.readouterr().out == GOLDEN_FRAME.read_text()
+
+    def test_cli_top_missing_timeline_exits_2(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path), "--once"]) == 2
+        assert "cannot read timeline" in capsys.readouterr().err
+
+
+class TestCliObsTimeline:
+    def test_summary_text(self, capsys):
+        assert main(["obs-timeline", str(FIXTURE_TIMELINE)]) == 0
+        out = capsys.readouterr().out
+        assert "detect_shards" in out
+        assert "monotonic" in out
+
+    def test_summary_json(self, capsys):
+        import json
+
+        assert main([
+            "obs-timeline", str(FIXTURE_TIMELINE), "--format", "json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["snapshots"] == 3
+        assert payload["summary"]["monotonic"] is True
+
+    def test_diff_same_timeline_passes(self, capsys):
+        assert main([
+            "obs-timeline", str(FIXTURE_TIMELINE), "--diff",
+            str(FIXTURE_TIMELINE),
+        ]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_regression_exits_1(self, tmp_path, capsys):
+        import json
+
+        slower = []
+        for record in read_timeline(str(FIXTURE_TIMELINE)):
+            if record.get("kind") == "snapshot":
+                record = dict(record)
+                record["rss_bytes"] = record["rss_bytes"] * 10
+            slower.append(record)
+        candidate = tmp_path / "timeline.jsonl"
+        with open(candidate, "w", encoding="utf-8") as handle:
+            for record in slower:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        assert main([
+            "obs-timeline", str(candidate), "--diff", str(FIXTURE_TIMELINE),
+        ]) == 1
+        assert "REGRESSION: rss_max_bytes" in capsys.readouterr().err

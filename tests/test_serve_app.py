@@ -220,12 +220,56 @@ class TestObservability:
             assert registry.gauge(names.SERVE_INDEX_FINDINGS).value() == len(index)
 
 
+class TestMetricsEndpoint:
+    def test_metrics_scrape_is_prometheus_text(self, pipeline_result):
+        with use_registry() as registry:
+            app = create_app(FindingsIndex(pipeline_result))
+            call_app(app, "/health")
+            response = call_app(app, "/metrics")
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            # The body is the live registry's exposition: parseable, and
+            # it contains the request counter the /health call just bumped.
+            samples = parse_text(response.body.decode("utf-8"))
+            key = f'{names.SERVE_REQUESTS}{{route="/health",status="200"}}'
+            assert samples[key] == 1
+            assert registry.render_text()  # same registry, still live
+
+    def test_metrics_requests_are_themselves_counted(self, pipeline_result):
+        with use_registry() as registry:
+            app = create_app(FindingsIndex(pipeline_result))
+            call_app(app, "/metrics")
+            call_app(app, "/metrics")
+            counter = registry.counter(
+                names.SERVE_REQUESTS, labels=("route", "status")
+            )
+            assert counter.value(route="/metrics", status="200") == 2
+
+    def test_metrics_head_returns_empty_body(self, pipeline_result):
+        with use_registry():
+            app = create_app(FindingsIndex(pipeline_result))
+            response = call_app(app, "/metrics", method="HEAD")
+            assert response.status == 200
+            assert response.body == b""
+
+    def test_metrics_write_method_405_json_error(self, pipeline_result):
+        with use_registry():
+            app = create_app(FindingsIndex(pipeline_result))
+            response = call_app(app, "/metrics", method="POST")
+            assert response.status == 405
+            assert response.headers["Allow"] == "GET, HEAD"
+            payload = response.json()
+            assert payload["error"]["code"] == "method_not_allowed"
+
+
 class TestWarmCheck:
     def test_warm_check_passes_on_seed_world(self, app):
         report = warm_check(app)
         assert report["ok"] is True
         assert report["failures"] == 0
-        assert report["probes"] == len(report["checks"]) == 12
+        assert report["probes"] == len(report["checks"]) == 13
         assert report["index"]["findings"] == len(app.index)
 
     def test_warm_check_handles_empty_index(self):
