@@ -1,0 +1,89 @@
+"""Performance benchmark — parallel lint (``--jobs``) vs serial.
+
+Not a paper experiment: quantifies the process-pool fan-out of the lint
+engine's read/parse/per-file-rule/fact-extraction phase. The gate runs
+the full shipped tree (``src`` + ``tests``) both ways and requires:
+
+* **identical output** — findings must be byte-for-byte the same for
+  every worker count (the determinism contract ``--jobs`` ships with);
+* **>= 1.5x speedup** on hosts with at least 4 cores. On smaller hosts
+  the pool cannot win by construction, so the timing gate is skipped
+  (the determinism assertion still runs).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.lint import LintRunner
+
+ROUNDS = 2
+MIN_CORES_FOR_GATE = 4
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_PATHS = [
+    os.path.join(REPO_ROOT, "src"),
+    os.path.join(REPO_ROOT, "tests"),
+]
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = None
+    result = None
+    for _ in range(rounds):
+        started = perf_counter()
+        result = fn()
+        elapsed = perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _finding_records(report):
+    return [f.to_record() for f in report.findings]
+
+
+def test_perf_parallel_lint(emit_report):
+    cores = os.cpu_count() or 1
+    jobs = max(2, cores)
+
+    serial_seconds, serial_report = _best_of(
+        lambda: LintRunner(jobs=1).run(LINT_PATHS)
+    )
+    parallel_seconds, parallel_report = _best_of(
+        lambda: LintRunner(jobs=jobs).run(LINT_PATHS)
+    )
+
+    assert _finding_records(parallel_report) == _finding_records(
+        serial_report
+    ), "worker count changed the findings — speed is irrelevant"
+    assert parallel_report.files_scanned == serial_report.files_scanned
+
+    speedup = serial_seconds / parallel_seconds
+    emit_report(
+        "perf_lint",
+        render_table(
+            ["Quantity", "Value"],
+            [
+                ("files scanned", f"{serial_report.files_scanned:,}"),
+                ("cores", str(cores)),
+                ("jobs", str(jobs)),
+                ("serial seconds", f"{serial_seconds:.2f}"),
+                ("parallel seconds", f"{parallel_seconds:.2f}"),
+                ("speedup", f"{speedup:.2f}x"),
+            ],
+            title="Performance: parallel lint vs serial (shipped tree)",
+        ),
+    )
+
+    if cores < MIN_CORES_FOR_GATE:
+        pytest.skip(
+            f"{cores} core(s): the pool cannot win; determinism checked, "
+            "timing gate skipped"
+        )
+    assert speedup >= 1.5, (
+        f"parallel lint only {speedup:.2f}x faster with {jobs} jobs on "
+        f"{cores} cores"
+    )

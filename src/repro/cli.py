@@ -406,6 +406,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every rule code with its rationale and exit",
     )
+    lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parse/analyze files across N worker processes "
+        "(default: os.cpu_count(); finding order is identical for any N)",
+    )
+    lint.add_argument(
+        "--explain", default=None, metavar="PATH:LINE",
+        help="print every recorded nondeterminism flow whose source, sink, "
+        "or any hop touches PATH:LINE, then exit",
+    )
+    lint.add_argument(
+        "--dump-graph", default=None, metavar="FILE",
+        help="also write the import/call graph and RNG-label namespace "
+        "as JSON to FILE",
+    )
     return parser
 
 

@@ -152,7 +152,7 @@ class LifetimePolicySimulator:
         return 1.0 - capped / baseline
 
 
-def survival_curve_for(findings: StaleFindings, cls: StalenessClass) -> SurvivalCurve:
+def survival_curve_for(findings: StaleFindings, cls: StalenessClass) -> SurvivalCurve:  # repro-lint: disable=RL703  # paper API: Figure 8 entry point
     """Days-to-invalidation survival curve (Figure 8) for one class."""
     return findings.survival_curve(cls)
 

@@ -14,14 +14,25 @@ invariants into CI-gated rules:
 ``RL103``  unsorted iteration over a bare set  *(fixable)*
 ``RL201``  mutable module-level state in worker-reachable code
 ``RL301``  metric name not declared in ``repro.obs.names``
+``RL302``  live-telemetry hygiene (declared phases, daemon threads)
 ``RL401``  batch ``DETECTOR_REGISTRY`` protocol conformance
 ``RL402``  stream detector registry protocol conformance
 ``RL501``  bare ``except:``  *(fixable)*
 ``RL502``  broad handler that swallows without re-raise or log
+``RL503``  serve-path handler that swallows errors outside the error model
+``RL601``  segment/bundle access outside the Dataset API
+``RL701``  nondeterminism source flows into a run artifact (hop chain)
+``RL702``  RNG fork label collision / undeclared / stale declaration
+``RL703``  public symbol reachable from no engine, CLI, test, or benchmark
 
-Run ``python -m repro lint [PATHS...]``; see ``docs/LINTS.md`` for the
-full catalogue, suppression syntax (``# repro-lint: disable=RLxxx``),
-and baseline semantics.
+RL7xx are the whole-program tier (:mod:`repro.lint.flow`): per-file facts
+are linked into import/call graphs and a taint dataflow, so RL701
+findings carry the full source→sink path and can be suppressed at either
+end of it. Run ``python -m repro lint [PATHS...]`` (``--jobs N``
+parallelizes with identical output; ``--explain PATH:LINE`` prints the
+flows through a location; ``--dump-graph FILE`` writes the program
+graph); see ``docs/LINTS.md`` for the full catalogue, suppression syntax
+(``# repro-lint: disable=RLxxx``), and baseline semantics.
 """
 
 from repro.lint.base import (
@@ -36,7 +47,7 @@ from repro.lint.base import (
 )
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.lint.engine import LintReport, LintRunner, collect_files
-from repro.lint.findings import Finding, Fix
+from repro.lint.findings import Finding, Fix, Hop
 from repro.lint.fixes import apply_fixes, fix_files
 from repro.lint.reporters import render_json, render_text
 from repro.lint.runner import run_cli
@@ -48,6 +59,7 @@ __all__ = [
     "FileContext",
     "Finding",
     "Fix",
+    "Hop",
     "ImportMap",
     "LintReport",
     "LintRunner",

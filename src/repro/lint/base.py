@@ -123,30 +123,125 @@ class ClassInfo:
 class ProjectIndex:
     """Cross-file facts shared by project rules.
 
-    Built lazily from the parsed file set: class definitions by name, and
-    the metric-name constants declared in ``repro/obs/names.py``. The
-    index is pure AST — nothing is imported or executed.
+    Built lazily from the parsed file set: class definitions by name,
+    the metric-name constants declared in ``repro/obs/names.py``, and —
+    for the flow rules — per-file :class:`repro.lint.flow.facts.ModuleFacts`
+    linked into a whole-program graph. The index is pure AST — nothing is
+    imported or executed.
+
+    ``files`` may be a plain ``{path: FileContext}`` dict or any mapping
+    that parses lazily (the parallel engine hands in a disk-backed map so
+    the parent process only parses the files a rule actually opens);
+    ``facts`` may pre-seed extracted module facts from worker processes.
     """
 
     METRIC_NAMES_SUFFIX = "repro/obs/names.py"
 
-    def __init__(self, files: Dict[str, FileContext]) -> None:
+    def __init__(
+        self,
+        files: Dict[str, FileContext],
+        facts: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.files = files
+        self._facts: Dict[str, object] = dict(facts) if facts else {}
+        self._facts_failed: Set[str] = set()
         self._classes: Optional[Dict[str, ClassInfo]] = None
         self._metric_constants: Optional[Set[str]] = None
         self._progress_phases: Optional[Set[str]] = None
+        self._rng_labels: Optional[Tuple] = None
+        self._rng_labels_loaded = False
+        self._program: Optional[object] = None
+        self._program_built = False
+
+    # -- extracted module facts (flow tier) ---------------------------------
+
+    def facts_for(self, path: str):
+        """:class:`ModuleFacts` for *path*, extracted on first use.
+
+        Returns ``None`` when the file is not in the scanned set or fact
+        extraction failed — callers skip rather than guess.
+        """
+        if path in self._facts:
+            return self._facts[path]
+        if path in self._facts_failed or path not in self.files:
+            return None
+        from repro.lint.flow.facts import extract_module_facts
+
+        ctx = self.files[path]
+        try:
+            facts = extract_module_facts(path, tree=ctx.tree, lines=ctx.lines)
+        except Exception:  # repro-lint: disable=RL502  # failure is recorded; facts are optional acceleration
+            self._facts_failed.add(path)
+            return None
+        self._facts[path] = facts
+        return facts
+
+    def all_facts(self) -> Dict[str, object]:
+        """Facts for every scanned file (failed extractions omitted)."""
+        out: Dict[str, object] = {}
+        for path in sorted(self.files):
+            facts = self.facts_for(path)
+            if facts is not None:
+                out[path] = facts
+        return out
+
+    def program(self):
+        """The linked :class:`~repro.lint.flow.graphs.ProgramGraph`.
+
+        Built once per lint run from :meth:`all_facts`; ``None`` when the
+        scanned set is empty.
+        """
+        if not self._program_built:
+            self._program_built = True
+            from repro.lint.flow.graphs import ProgramGraph
+
+            facts = self.all_facts()
+            self._program = ProgramGraph.build(facts) if facts else None
+        return self._program
+
+    def line_text(self, path: str, lineno: int) -> str:
+        """Stripped source line for baseline keys on cross-file findings."""
+        ctx = self.files.get(path) if hasattr(self.files, "get") else None
+        lines: Optional[List[str]] = getattr(ctx, "lines", None)
+        if lines is None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    lines = handle.read().splitlines()
+            except OSError:
+                return ""
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+    def suppressions_for(self, path: str) -> Dict[int, frozenset]:
+        """Inline suppression map for *path* (from facts when available)."""
+        facts = self._facts.get(path)
+        if facts is not None:
+            return {line: frozenset(codes)
+                    for line, codes in facts.suppressions}
+        ctx = self.files.get(path) if hasattr(self.files, "get") else None
+        if ctx is not None:
+            from repro.lint.suppress import parse_suppressions
+
+            return parse_suppressions(ctx.lines)
+        return {}
 
     @property
     def classes(self) -> Dict[str, ClassInfo]:
         if self._classes is None:
             self._classes = {}
             for path in sorted(self.files):
-                ctx = self.files[path]
-                for node in ast.walk(ctx.tree):
-                    if isinstance(node, ast.ClassDef):
+                facts = self.facts_for(path)
+                if facts is not None:
+                    for info in facts.class_infos:
                         # First definition wins; class names are unique in
                         # practice and determinism matters more than picking
                         # "the right" duplicate.
+                        self._classes.setdefault(info.name, info)
+                    continue
+                ctx = self.files[path]
+                for node in ast.walk(ctx.tree):
+                    if isinstance(node, ast.ClassDef):
                         self._classes.setdefault(
                             node.name, ClassInfo.from_node(path, node)
                         )
@@ -218,6 +313,70 @@ class ProjectIndex:
                             phases.add(element.value)
             self._progress_phases = phases
         return self._progress_phases
+
+    def rng_labels(self) -> Optional[Tuple[Tuple[str, ...], ...]]:
+        """Label tuples in ``repro.obs.names.RNG_LABELS`` (AST-parsed).
+
+        Each entry is a tuple of literal label components (``"*"`` marks a
+        declared runtime-varying component). Same contract as
+        :meth:`metric_constants`: ``None`` when the declaration cannot be
+        found, so RL702's declared-ness checks skip rather than guess.
+        """
+        if not self._rng_labels_loaded:
+            self._rng_labels_loaded = True
+            ctx = self.find_file(self.METRIC_NAMES_SUFFIX)
+            if ctx is None:
+                ctx = self._read_names_module()
+            if ctx is None:
+                return None
+            entries = []
+            for stmt in ctx.tree.body:
+                if isinstance(stmt, ast.Assign):
+                    targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    targets = [stmt.target]
+                    value = stmt.value
+                else:
+                    continue
+                if not any(target.id == "RNG_LABELS" for target in targets):
+                    continue
+                if not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    continue
+                for element in value.elts:
+                    if not isinstance(element, (ast.Tuple, ast.List)):
+                        continue
+                    labels = tuple(
+                        part.value
+                        for part in element.elts
+                        if isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)
+                    )
+                    if labels:
+                        entries.append(labels)
+                self._rng_labels = tuple(entries)
+        return self._rng_labels
+
+    def rng_labels_site(self) -> Optional[Tuple[str, int]]:
+        """(path, line) of the ``RNG_LABELS`` declaration, for findings."""
+        ctx = self.find_file(self.METRIC_NAMES_SUFFIX)
+        if ctx is None:
+            ctx = self._read_names_module()
+        if ctx is None:
+            return None
+        for stmt in ctx.tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                targets = [stmt.target]
+            if any(target.id == "RNG_LABELS" for target in targets):
+                return (ctx.path, stmt.lineno)
+        return None
 
     def _read_names_module(self) -> Optional[FileContext]:
         import os
@@ -297,12 +456,41 @@ def all_rules() -> List[Rule]:
     import repro.lint.rules_data  # noqa: F401  (registration side effect)
     import repro.lint.rules_determinism  # noqa: F401
     import repro.lint.rules_except  # noqa: F401
+    import repro.lint.rules_flow  # noqa: F401
     import repro.lint.rules_forksafety  # noqa: F401
     import repro.lint.rules_obs  # noqa: F401
     import repro.lint.rules_protocol  # noqa: F401
     import repro.lint.rules_serve  # noqa: F401
 
     return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def is_set_producing(node: ast.AST) -> bool:
+    """True for expressions that statically evaluate to a set.
+
+    Deliberately conservative — direct set displays, comprehensions,
+    ``set()``/``frozenset()`` calls, set-method calls on those, and set
+    algebra over them. Variables of set type are not inferred; consumers
+    (RL103 and the flow tier's ``set_iter`` taint source) trade recall
+    for a near-zero false-positive rate.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return is_set_producing(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_producing(node.left) or is_set_producing(node.right)
+    return False
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -16,7 +16,7 @@ no-op.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Finding
 
@@ -58,16 +58,27 @@ def _insert(lines: List[str], position: Tuple[int, int], text: str) -> bool:
     return True
 
 
-def fix_files(findings: Sequence[Finding]) -> Dict[str, int]:
-    """Group *findings* by file, rewrite each once; returns path → applied."""
+def fix_files(
+    findings: Sequence[Finding],
+    sources: Optional[Dict[str, str]] = None,
+) -> Dict[str, int]:
+    """Group *findings* by file, rewrite each once; returns path → applied.
+
+    Every file is read at most once and written at most once regardless
+    of how many fixes land in it; when *sources* already holds the text
+    (the lint run that produced the findings read it), the file is not
+    read at all — one write per fixed file is the only I/O.
+    """
     by_path: Dict[str, List[Finding]] = {}
     for finding in findings:
         if finding.fix is not None:
             by_path.setdefault(finding.path, []).append(finding)
     results: Dict[str, int] = {}
     for path in sorted(by_path):
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
+        source = (sources or {}).get(path)
+        if source is None:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
         fixed, applied = apply_fixes(source, by_path[path])
         if applied and fixed != source:
             with open(path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,412 @@
+"""Interprocedural taint dataflow over extracted function IRs.
+
+The engine answers one question: *can a nondeterministic value or
+ordering reach a run artifact?* It interprets each function's linearized
+op list abstractly — variables map to sets of taint values — and builds
+per-function **summaries** (what the return value carries, which
+parameters flow to sinks) so taint crosses function boundaries along the
+resolved call graph. Summaries compose under a bounded fixpoint, so a
+source three calls away from its sink still produces one finding with
+the complete hop chain.
+
+Design limits, on purpose:
+
+* **Dynamic calls drop taint.** A call the resolver could not name
+  statically returns a clean value; the call graph records the dynamic
+  edge so the blind spot is visible, but the engine never guesses.
+* **Branches are linearized** and loops interpreted twice (one carry
+  pass), trading path-sensitivity for speed and determinism.
+* **Strong updates** on plain assignment: ``files = sorted(files)``
+  really does clean ``files`` — the idiomatic sanitizer must win or the
+  analysis would drown its own signal in false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Hop
+from repro.lint.flow.facts import (
+    CallIR,
+    ExprIR,
+    FunctionIR,
+    METRIC_MUTATORS,
+    OpAssign,
+    OpExpr,
+    OpKill,
+    OpReturn,
+    SINK_FUNCTIONS,
+    SINK_METHODS,
+)
+from repro.lint.flow.graphs import ProgramGraph
+
+#: Builtins that forward their argument's taint (including order).
+_PASSTHROUGH = {"list", "tuple", "dict", "set", "frozenset"}
+
+_MAX_ROUNDS = 5
+_MAX_HOPS = 12
+_MAX_VALS_PER_VAR = 16
+
+
+@dataclass(frozen=True)
+class TaintVal:
+    """One abstract taint carried by a variable or expression.
+
+    ``origin`` is ``("src", source_kind, path, line, detail)`` for a real
+    nondeterminism source, or ``("param", name)`` for the symbolic marker
+    used while computing a function summary.
+    """
+
+    kind: str                 # "value" | "order"
+    origin: Tuple
+    hops: Tuple[Hop, ...] = ()
+
+
+@dataclass(frozen=True)
+class _Flow:
+    """A taint value arriving at a sink (origin may still be a param)."""
+
+    origin: Tuple
+    kind: str
+    sink: str                 # sink kind, e.g. "dataset-write"
+    callee: str               # short callee name at the sink call
+    path: str
+    line: int
+    col: int
+    hops: Tuple[Hop, ...]
+
+
+@dataclass(frozen=True)
+class _Summary:
+    returns: FrozenSet[TaintVal] = frozenset()
+    #: Param-origin flows only; src-origin flows are reported where found.
+    sink_flows: FrozenSet[_Flow] = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One confirmed source→sink dataflow, ready to become a finding."""
+
+    path: str                 # sink location
+    line: int
+    col: int
+    kind: str                 # "value" | "order"
+    source_kind: str          # wall_clock | fs_order | ...
+    source_path: str
+    source_line: int
+    source_detail: str
+    sink: str
+    callee: str
+    hops: Tuple[Hop, ...]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.source_path,
+                self.source_line, self.kind, self.sink)
+
+
+@dataclass
+class TaintReport:
+    """All flows found in one program, deterministically ordered."""
+
+    flows: Tuple[TaintFlow, ...] = ()
+
+    def flows_at(self, path: str, line: int) -> Tuple[TaintFlow, ...]:
+        """Flows whose sink **or** any hop touches ``path:line``.
+
+        Backs ``repro lint --explain PATH:LINE``.
+        """
+        hits = []
+        for flow in self.flows:
+            if (flow.path == path and flow.line == line) or any(
+                hop.path == path and hop.line == line for hop in flow.hops
+            ):
+                hits.append(flow)
+        return tuple(hits)
+
+
+def classify_sink(resolved: Optional[str], call: CallIR) -> Optional[str]:
+    """Sink kind when this call writes a run artifact, else None."""
+    if call.metric_chain and call.method in METRIC_MUTATORS:
+        return "metric-label"
+    if resolved is None:
+        return None
+    if resolved in SINK_FUNCTIONS:
+        return SINK_FUNCTIONS[resolved]
+    parts = resolved.rsplit(".", 2)
+    if len(parts) == 3:
+        kind = SINK_METHODS.get((parts[1], parts[2]))
+        if kind is not None:
+            return kind
+    return None
+
+
+class _Interpreter:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        program: ProgramGraph,
+        summaries: Dict[str, _Summary],
+        path: str,
+        func: FunctionIR,
+    ) -> None:
+        self.program = program
+        self.summaries = summaries
+        self.path = path
+        self.func = func
+        self.env: Dict[str, FrozenSet[TaintVal]] = {}
+        self.returns: Set[TaintVal] = set()
+        self.flows: Set[_Flow] = set()
+
+    def run(self) -> Tuple[FrozenSet[TaintVal], FrozenSet[_Flow]]:
+        for param in self.func.params:
+            self.env[param] = frozenset({
+                TaintVal("value", ("param", param)),
+                TaintVal("order", ("param", param)),
+            })
+        # Two passes: the second carries loop-back taint (an append inside
+        # a loop feeding a call earlier in the linearized order).
+        for _ in range(2):
+            for op in self.func.ops:
+                self._step(op)
+        return frozenset(self.returns), frozenset(self.flows)
+
+    # -- op interpretation ---------------------------------------------------
+
+    def _step(self, op) -> None:
+        if isinstance(op, OpAssign):
+            vals = self._eval(op.value)
+            for name in op.targets:
+                if op.merge:
+                    vals = vals | self.env.get(name, frozenset())
+                self.env[name] = _cap(vals)
+        elif isinstance(op, OpExpr):
+            self._eval(op.value)
+        elif isinstance(op, OpReturn):
+            if op.value is not None:
+                self.returns.update(self._eval(op.value))
+        elif isinstance(op, OpKill):
+            vals = self.env.get(op.name)
+            if vals:
+                self.env[op.name] = frozenset(
+                    v for v in vals if v.kind not in op.kinds
+                )
+
+    # -- expression evaluation -----------------------------------------------
+
+    def _eval(self, expr: ExprIR) -> FrozenSet[TaintVal]:
+        vals: Set[TaintVal] = set()
+        for atom in expr.atoms:
+            tag = atom[0]
+            if tag == "read":
+                vals.update(self.env.get(atom[1], frozenset()))
+            elif tag == "src":
+                ref = atom[1]
+                vals.add(TaintVal(
+                    kind=ref.taint,
+                    origin=("src", ref.kind, self.path, ref.line, ref.detail),
+                    hops=(Hop(self.path, ref.line,
+                              f"nondeterministic source: {ref.detail}"),),
+                ))
+            elif tag == "sub":
+                vals.update(self._eval(atom[1]))
+            elif tag == "call":
+                vals.update(self._eval_call(atom[1]))
+        if expr.kills:
+            vals = {v for v in vals if v.kind not in expr.kills}
+        return _cap(frozenset(vals))
+
+    def _eval_call(self, call: CallIR) -> FrozenSet[TaintVal]:
+        arg_vals = [self._eval(arg) for arg in call.args]
+        kw_vals = [(name, self._eval(ir)) for name, ir in call.kwargs]
+        resolved = self.program.resolve_callable(call.callee)
+        short = _short_name(resolved or call.callee or call.method)
+
+        # External sinks (json.dump) never resolve to an analyzed
+        # function; the extractor's alias-resolved spelling still names
+        # them, so classify against that when resolution fails.
+        sink = classify_sink(resolved if resolved is not None else call.callee,
+                             call)
+        if sink is not None:
+            sunk: List[FrozenSet[TaintVal]] = (
+                [vals for _n, vals in kw_vals] if sink == "metric-label"
+                else arg_vals + [vals for _n, vals in kw_vals]
+            )
+            for vals in sunk:
+                for val in vals:
+                    self._emit(_Flow(
+                        origin=val.origin,
+                        kind=val.kind,
+                        sink=sink,
+                        callee=short,
+                        path=self.path,
+                        line=call.line,
+                        col=call.col,
+                        hops=val.hops + (Hop(
+                            self.path, call.line,
+                            f"sink: {sink} via {short}()",
+                        ),),
+                    ))
+
+        summary = self.summaries.get(resolved) if resolved else None
+        if summary is None:
+            if call.callee in _PASSTHROUGH and not call.starred:
+                passed: Set[TaintVal] = set()
+                for vals in arg_vals:
+                    passed.update(vals)
+                return _cap(frozenset(passed))
+            return frozenset()  # dynamic or external: conservatively clean
+
+        param_map = self._map_params(resolved, call, arg_vals, kw_vals)
+        result: Set[TaintVal] = set()
+        for ret in summary.returns:
+            if ret.origin[0] == "src":
+                hops = ret.hops + (Hop(
+                    self.path, call.line, f"tainted by {short}() return",
+                ),)
+                if len(hops) <= _MAX_HOPS:
+                    result.add(TaintVal(ret.kind, ret.origin, hops))
+            else:
+                for val in param_map.get(ret.origin[1], ()):
+                    if val.kind != ret.kind:
+                        continue
+                    hops = val.hops + (Hop(
+                        self.path, call.line, f"passed into {short}()",
+                    ),) + ret.hops
+                    if len(hops) <= _MAX_HOPS:
+                        result.add(TaintVal(val.kind, val.origin, hops))
+        for flow in summary.sink_flows:
+            for val in param_map.get(flow.origin[1], ()):
+                if val.kind != flow.kind:
+                    continue
+                hops = val.hops + (Hop(
+                    self.path, call.line, f"passed into {short}()",
+                ),) + flow.hops
+                if len(hops) <= _MAX_HOPS:
+                    self._emit(_Flow(
+                        origin=val.origin,
+                        kind=val.kind,
+                        sink=flow.sink,
+                        callee=flow.callee,
+                        path=flow.path,
+                        line=flow.line,
+                        col=flow.col,
+                        hops=hops,
+                    ))
+        return _cap(frozenset(result))
+
+    def _map_params(
+        self,
+        resolved: str,
+        call: CallIR,
+        arg_vals: List[FrozenSet[TaintVal]],
+        kw_vals: List[Tuple[Optional[str], FrozenSet[TaintVal]]],
+    ) -> Dict[str, FrozenSet[TaintVal]]:
+        if call.starred:
+            return {}
+        entry = self.program.functions.get(resolved)
+        if entry is None:
+            return {}
+        params = list(entry[1].params)
+        # Bound calls (method on an instance, constructor) bind the first
+        # parameter implicitly.
+        if params and params[0] in ("self", "cls") and (
+            call.method is not None or resolved.endswith(".__init__")
+        ):
+            params = params[1:]
+        mapping: Dict[str, FrozenSet[TaintVal]] = {}
+        for index, vals in enumerate(arg_vals):
+            if index < len(params) and vals:
+                mapping[params[index]] = vals
+        for name, vals in kw_vals:
+            if name is not None and vals:
+                mapping[name] = vals
+        return mapping
+
+    def _emit(self, flow: _Flow) -> None:
+        if len(flow.hops) <= _MAX_HOPS:
+            self.flows.add(flow)
+
+
+def _cap(vals: FrozenSet[TaintVal]) -> FrozenSet[TaintVal]:
+    if len(vals) <= _MAX_VALS_PER_VAR:
+        return vals
+    ranked = sorted(vals, key=lambda v: (len(v.hops), v.origin, v.kind))
+    return frozenset(ranked[:_MAX_VALS_PER_VAR])
+
+
+def _short_name(dotted: Optional[str]) -> str:
+    if not dotted:
+        return "<dynamic>"
+    return dotted.rsplit(".", 1)[-1]
+
+
+def analyze_taint(
+    program: ProgramGraph,
+    exclude_sink_prefixes: Tuple[str, ...] = ("repro.obs.", "repro.obs"),
+) -> TaintReport:
+    """Run the whole-program taint analysis.
+
+    ``exclude_sink_prefixes`` drops flows whose *sink* lives in a module
+    with one of these prefixes — telemetry is allowed to serialize wall
+    clock and RSS; that is its job. Sources in excluded modules still
+    propagate: an obs helper returning wall clock that lands in a
+    findings file is a real finding at the findings file's sink.
+    """
+    summaries: Dict[str, _Summary] = {
+        qualname: _Summary() for qualname in program.functions
+    }
+    flows_by_fn: Dict[str, FrozenSet[_Flow]] = {}
+    for _round in range(_MAX_ROUNDS):
+        next_summaries: Dict[str, _Summary] = {}
+        changed = False
+        for qualname in sorted(program.functions):
+            path, func = program.functions[qualname]
+            interp = _Interpreter(program, summaries, path, func)
+            returns, flows = interp.run()
+            param_flows = frozenset(
+                f for f in flows if f.origin[0] == "param"
+            )
+            flows_by_fn[qualname] = frozenset(
+                f for f in flows if f.origin[0] == "src"
+            )
+            summary = _Summary(returns=returns, sink_flows=param_flows)
+            next_summaries[qualname] = summary
+            if summaries.get(qualname) != summary:
+                changed = True
+        summaries = next_summaries
+        if not changed:
+            break
+
+    best: Dict[Tuple, TaintFlow] = {}
+    for qualname in sorted(flows_by_fn):
+        for flow in flows_by_fn[qualname]:
+            sink_module = program.files[flow.path].module
+            if any(
+                sink_module == prefix.rstrip(".")
+                or sink_module.startswith(prefix if prefix.endswith(".")
+                                          else prefix + ".")
+                for prefix in exclude_sink_prefixes
+            ):
+                continue
+            _tag, source_kind, source_path, source_line, detail = flow.origin
+            record = TaintFlow(
+                path=flow.path,
+                line=flow.line,
+                col=flow.col,
+                kind=flow.kind,
+                source_kind=source_kind,
+                source_path=source_path,
+                source_line=source_line,
+                source_detail=detail,
+                sink=flow.sink,
+                callee=flow.callee,
+                hops=flow.hops,
+            )
+            key = record.sort_key()
+            kept = best.get(key)
+            if kept is None or len(record.hops) < len(kept.hops):
+                best[key] = record
+    flows = tuple(sorted(best.values(), key=TaintFlow.sort_key))
+    return TaintReport(flows=flows)

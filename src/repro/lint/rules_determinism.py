@@ -16,7 +16,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set
 
-from repro.lint.base import FileContext, ImportMap, Rule, register
+from repro.lint.base import FileContext, ImportMap, Rule, is_set_producing, register
 from repro.lint.findings import Finding, Fix
 
 SIMULATION_SCOPE = ("src/repro/",)
@@ -116,31 +116,9 @@ class GlobalRandomRule(Rule):
                     )
 
 
-def _is_set_producing(node: ast.AST) -> bool:
-    """True for expressions that statically evaluate to a set.
-
-    Deliberately conservative — direct set displays, comprehensions,
-    ``set()``/``frozenset()`` calls, set-method calls on those, and set
-    algebra over them. Variables of set type are not inferred; the rule
-    trades recall for a near-zero false-positive rate.
-    """
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
-            return True
-        if isinstance(node.func, ast.Attribute) and node.func.attr in (
-            "union",
-            "intersection",
-            "difference",
-            "symmetric_difference",
-        ):
-            return _is_set_producing(node.func.value)
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-    ):
-        return _is_set_producing(node.left) or _is_set_producing(node.right)
-    return False
+# Shared with the flow tier's ``set_iter`` taint source; the single
+# definition lives in :mod:`repro.lint.base`.
+_is_set_producing = is_set_producing
 
 
 @register

@@ -12,17 +12,20 @@ or dynamic phase forks the timeline the same way a literal metric name
 forks a series), and every ``threading.Thread`` in engine code must be
 a daemon (a non-daemon sampler thread turns a crashed run into a hung
 process — the one failure mode a heartbeat must never add).
+
+Both rules consume the per-file call-site facts extracted by
+:mod:`repro.lint.flow.facts` (``ObsUse`` records) instead of re-walking
+ASTs, so the parallel engine's parent process never re-parses files the
+workers already analyzed.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator, Optional, Set
 
-from repro.lint.base import FileContext, ImportMap, ProjectIndex, ProjectRule, register
+from repro.lint.base import ProjectIndex, ProjectRule, register
 from repro.lint.findings import Finding
 
-REGISTRY_METHODS = ("counter", "gauge", "histogram")
 NAMES_MODULE = "repro.obs.names"
 
 
@@ -47,84 +50,46 @@ class MetricNameRule(ProjectRule):
         for path in sorted(index.files):
             if not self.applies_to(path):
                 continue
-            ctx = index.files[path]
-            imports = ImportMap(ctx.tree)
-            for node in ast.walk(ctx.tree):
-                finding = self._check_call(ctx, imports, node, declared)
-                if finding is not None:
-                    yield finding
-
-    def _check_call(
-        self,
-        ctx: FileContext,
-        imports: ImportMap,
-        node: ast.AST,
-        declared: Optional[Set[str]],
-    ) -> Optional[Finding]:
-        if not (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in REGISTRY_METHODS
-            and node.args
-        ):
-            return None
-        # Skip registry-internal plumbing (self.counter(...) definitions).
-        if isinstance(node.func.value, ast.Name) and node.func.value.id in (
-            "self",
-            "cls",
-        ):
-            return None
-        name_arg = node.args[0]
-        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
-            return ctx.finding(
-                self,
-                name_arg,
-                f"literal metric name {name_arg.value!r}; declare it as a "
-                f"constant in {NAMES_MODULE} and reference that",
-            )
-        if isinstance(name_arg, ast.Attribute) and isinstance(
-            name_arg.value, ast.Name
-        ):
-            module = imports.resolve(name_arg.value.id)
-            if module != NAMES_MODULE:
-                return ctx.finding(
-                    self,
-                    name_arg,
-                    f"metric name read from '{module}', not {NAMES_MODULE}; "
-                    "all names live in one module so series cannot drift",
-                )
-            if declared is not None and name_arg.attr not in declared:
-                return ctx.finding(
-                    self,
-                    name_arg,
-                    f"metric name constant '{name_arg.attr}' is not declared "
-                    f"in {NAMES_MODULE}",
-                )
-            return None
-        if isinstance(name_arg, ast.Name):
-            origin = imports.resolve(name_arg.id)
-            if origin.startswith(NAMES_MODULE + "."):
-                constant = origin.rsplit(".", 1)[1]
-                if declared is not None and constant not in declared:
-                    return ctx.finding(
-                        self,
-                        name_arg,
-                        f"metric name constant '{constant}' is not declared "
-                        f"in {NAMES_MODULE}",
+            facts = index.facts_for(path)
+            if facts is None:
+                continue
+            for use in facts.obs_uses:
+                message = self._message(use, declared)
+                if message is not None:
+                    yield Finding(
+                        path=path,
+                        line=use.line,
+                        col=use.col,
+                        code=self.code,
+                        rule=self.name,
+                        message=message,
+                        line_text=use.line_text,
                     )
-                return None
-        return ctx.finding(
-            self,
-            name_arg,
-            "metric name is not a repro.obs.names constant; dynamic names "
-            "fragment the shared series namespace",
-        )
 
-
-PHASE_PROGRESS_CALLS = (
-    "repro.obs.phase_progress",
-    "repro.obs.live.phase_progress",
-)
+    def _message(self, use, declared: Optional[Set[str]]) -> Optional[str]:
+        if use.kind == "metric_literal":
+            return (
+                f"literal metric name {use.value!r}; declare it as a "
+                f"constant in {NAMES_MODULE} and reference that"
+            )
+        if use.kind == "metric_foreign":
+            return (
+                f"metric name read from '{use.value}', not {NAMES_MODULE}; "
+                "all names live in one module so series cannot drift"
+            )
+        if use.kind in ("metric_attr", "metric_name"):
+            if declared is not None and use.value not in declared:
+                return (
+                    f"metric name constant '{use.value}' is not declared "
+                    f"in {NAMES_MODULE}"
+                )
+            return None
+        if use.kind == "metric_other":
+            return (
+                "metric name is not a repro.obs.names constant; dynamic "
+                "names fragment the shared series namespace"
+            )
+        return None
 
 
 @register
@@ -148,64 +113,40 @@ class LiveTelemetryRule(ProjectRule):
         for path in sorted(index.files):
             if not self.applies_to(path):
                 continue
-            ctx = index.files[path]
-            imports = ImportMap(ctx.tree)
-            for node in ast.walk(ctx.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                target = imports.resolve_call(node)
-                if target in PHASE_PROGRESS_CALLS:
-                    finding = self._check_phase(ctx, node, declared)
-                    if finding is not None:
-                        yield finding
-                elif target == "threading.Thread":
-                    finding = self._check_thread(ctx, node)
-                    if finding is not None:
-                        yield finding
+            facts = index.facts_for(path)
+            if facts is None:
+                continue
+            for use in facts.obs_uses:
+                message = self._message(use, declared)
+                if message is not None:
+                    yield Finding(
+                        path=path,
+                        line=use.line,
+                        col=use.col,
+                        code=self.code,
+                        rule=self.name,
+                        message=message,
+                        line_text=use.line_text,
+                    )
 
-    def _check_phase(
-        self,
-        ctx: FileContext,
-        node: ast.Call,
-        declared: Optional[Set[str]],
-    ) -> Optional[Finding]:
-        if not node.args:
-            return ctx.finding(
-                self, node, "phase_progress() needs a literal phase name"
-            )
-        phase_arg = node.args[0]
-        if not (
-            isinstance(phase_arg, ast.Constant)
-            and isinstance(phase_arg.value, str)
-        ):
-            return ctx.finding(
-                self,
-                phase_arg,
+    def _message(self, use, declared: Optional[Set[str]]) -> Optional[str]:
+        if use.kind == "phase_missing":
+            return "phase_progress() needs a literal phase name"
+        if use.kind == "phase_dynamic":
+            return (
                 "progress phase must be a string literal (dynamic phase "
-                "names fork the timeline and defeat this very check)",
+                "names fork the timeline and defeat this very check)"
             )
-        if declared is not None and phase_arg.value not in declared:
-            return ctx.finding(
-                self,
-                phase_arg,
-                f"progress phase {phase_arg.value!r} is not declared in "
-                "repro.obs.names.PROGRESS_PHASES",
+        if use.kind == "phase_literal":
+            if declared is not None and use.value not in declared:
+                return (
+                    f"progress phase {use.value!r} is not declared in "
+                    "repro.obs.names.PROGRESS_PHASES"
+                )
+            return None
+        if use.kind == "thread_nondaemon":
+            return (
+                "threading.Thread in engine code must pass daemon=True; a "
+                "non-daemon background thread keeps a crashed run alive"
             )
         return None
-
-    def _check_thread(
-        self, ctx: FileContext, node: ast.Call
-    ) -> Optional[Finding]:
-        for keyword in node.keywords:
-            if (
-                keyword.arg == "daemon"
-                and isinstance(keyword.value, ast.Constant)
-                and keyword.value.value is True
-            ):
-                return None
-        return ctx.finding(
-            self,
-            node,
-            "threading.Thread in engine code must pass daemon=True; a "
-            "non-daemon background thread keeps a crashed run alive",
-        )

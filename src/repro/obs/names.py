@@ -132,6 +132,34 @@ PROGRESS_PHASES = (
     "serve_index_build",
 )
 
+#: Declared RNG stream labels — every site that forks a random stream
+#: (``RngStream(seed, *labels)``, ``split_seed(seed, *labels)``, or a
+#: keyed wrapper such as ``_hash_uniform``) must use a label tuple listed
+#: here, with ``"*"`` standing for a runtime-varying component (a domain
+#: name, a shard index). RL702 enforces the registry in both directions:
+#: an undeclared fork site is flagged (two subsystems silently sharing a
+#: stream is the determinism bug the label scheme exists to prevent), and
+#: a declared tuple with no surviving fork site is flagged as stale.
+#: Child ``.split(...)`` calls are exempt — they are rooted in a declared
+#: parent namespace, so their labels cannot collide across subsystems.
+RNG_LABELS = (
+    ("cdn",),
+    ("crl-fetch",),
+    ("ct",),
+    ("lifecycle",),
+    ("popularity",),
+    ("popularity-samples",),
+    ("registrations",),
+    ("revocations",),
+    ("streamgen", "breach", "*"),
+    ("streamgen", "breach-day", "*"),
+    ("streamgen", "dns-loss", "*", "*"),
+    ("streamgen", "domain", "*"),
+    ("streamgen", "plan", "*"),
+    ("table5-sample",),
+    ("tls",),
+)
+
 # -- tracing (repro.obs.trace / repro.obs.traceout) --------------------------
 
 SPAN_SECONDS = "repro_span_seconds"

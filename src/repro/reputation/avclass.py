@@ -51,7 +51,7 @@ def extract_family(vendor_labels: Iterable[str]) -> Optional[str]:
     return family
 
 
-def tally_categories(
+def tally_categories(  # repro-lint: disable=RL703  # paper API: Table 5 aggregation entry point
     file_categories: Iterable[str], url_categories: Iterable[str]
 ) -> Dict[str, Counter]:
     """Aggregate Table 5's two columns: malware categories (from files) and

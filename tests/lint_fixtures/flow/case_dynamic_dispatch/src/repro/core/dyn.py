@@ -1,0 +1,18 @@
+"""A dynamically dispatched call drops taint — recorded, never guessed."""
+
+import json
+import os
+
+
+def tick(root):
+    return os.listdir(root)
+
+
+HANDLERS = {"tick": tick}
+
+
+def run(root, out_path):
+    handler = HANDLERS["tick"]
+    rows = handler(root)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle)

@@ -1,0 +1,7 @@
+"""First fork site — this one keeps the label."""
+
+from repro.util.rng import RngStream
+
+
+def stream(seed):
+    return RngStream(seed, "shared-fixture")

@@ -1,0 +1,7 @@
+"""Second fork site — collides with the one in ``one.py``."""
+
+from repro.util.rng import RngStream
+
+
+def stream(seed):
+    return RngStream(seed, "shared-fixture")

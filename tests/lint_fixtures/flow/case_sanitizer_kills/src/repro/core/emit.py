@@ -1,0 +1,9 @@
+"""Sink module: ``sorted()`` between source and sink kills the flow."""
+
+from repro.core.scan import discover
+from repro.data.dataset import write_dataset
+
+
+def export(root, out_dir):
+    rows = sorted(discover(root))
+    write_dataset(out_dir, rows)

@@ -1,0 +1,8 @@
+"""Source module: same enumeration, same escape route."""
+
+import os
+
+
+def discover(root):
+    names = os.listdir(root)
+    return names

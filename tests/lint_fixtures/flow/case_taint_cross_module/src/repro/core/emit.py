@@ -1,0 +1,9 @@
+"""Sink module: the tainted rows reach a dataset write one module away."""
+
+from repro.core.scan import discover
+from repro.data.dataset import write_dataset
+
+
+def export(root, out_dir):
+    rows = discover(root)
+    write_dataset(out_dir, rows)

@@ -1,0 +1,9 @@
+"""One live export, one dead one."""
+
+
+def used_widget():
+    return "used"
+
+
+def dead_fixture_widget():
+    return "dead"

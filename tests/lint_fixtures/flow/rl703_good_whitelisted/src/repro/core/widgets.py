@@ -1,0 +1,9 @@
+"""The dead export carries a justified suppression — the whitelist flow."""
+
+
+def used_widget():
+    return "used"
+
+
+def dead_fixture_widget():  # repro-lint: disable=RL703  # kept: exercised by downstream notebooks
+    return "dead"

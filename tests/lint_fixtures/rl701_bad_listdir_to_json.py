@@ -1,0 +1,15 @@
+"""RL701 bad: ``os.listdir`` order reaches a findings file unsorted."""
+
+import json
+import os
+
+
+def collect(root):
+    names = os.listdir(root)
+    return names
+
+
+def dump(root, out_path):
+    rows = collect(root)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle)

@@ -1,0 +1,15 @@
+"""RL701 good: the ``sorted()`` sanitizer kills the ordering taint."""
+
+import json
+import os
+
+
+def collect(root):
+    names = os.listdir(root)
+    return sorted(names)
+
+
+def dump(root, out_path):
+    rows = collect(root)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle)

@@ -1,0 +1,11 @@
+"""RL702 bad: two root forks share one label tuple — identical streams."""
+
+from repro.util.rng import RngStream
+
+
+def stream_a(seed):
+    return RngStream(seed, "fixture-dup")
+
+
+def stream_b(seed):
+    return RngStream(seed, "fixture-dup")

@@ -1,0 +1,7 @@
+"""RL702 good: one root fork whose label is declared in RNG_LABELS."""
+
+from repro.util.rng import RngStream
+
+
+def stream(seed):
+    return RngStream(seed, "tls")

@@ -31,11 +31,29 @@ def fixture_cases():
         code = path.name.split("_")[0].upper()
         expect_findings = path.name.split("_")[1] == "bad"
         yield pytest.param(path, code, expect_findings, id=path.stem)
+    # Whole-program rules need more than one file; their fixtures are
+    # directory trees under flow/ whose layout *is* the synthetic path.
+    for path in sorted((FIXTURE_DIR / "flow").glob("rl*_*")):
+        if path.is_dir():
+            code = path.name.split("_")[0].upper()
+            expect_findings = path.name.split("_")[1] == "bad"
+            yield pytest.param(path, code, expect_findings, id=path.name)
 
 
 def lint_fixture(path: Path, code: str):
+    if path.is_dir():
+        return lint_fixture_tree(path)
     lint_path = SYNTHETIC_PATHS.get(code, DEFAULT_PATH)
     return LintRunner().run_source(path.read_text(), lint_path)
+
+
+def lint_fixture_tree(root: Path):
+    """Lint a directory fixture; file paths inside it are the lint paths."""
+    contexts = {}
+    for file in sorted(root.rglob("*.py")):
+        lint_path = file.relative_to(root).as_posix()
+        contexts[lint_path] = FileContext.parse(lint_path, file.read_text())
+    return LintRunner().run_contexts(contexts)
 
 
 class TestFixtureCorpus:
@@ -53,6 +71,9 @@ class TestFixtureCorpus:
         covered = {
             path.name.split("_")[0].upper()
             for path in FIXTURE_DIR.glob("rl*_bad_*.py")
+        } | {
+            path.name.split("_")[0].upper()
+            for path in (FIXTURE_DIR / "flow").glob("rl*_bad_*")
         }
         for rule in all_rules():
             assert rule.code in covered, f"no failing fixture for {rule.code}"
@@ -61,6 +82,9 @@ class TestFixtureCorpus:
         covered = {
             path.name.split("_")[0].upper()
             for path in FIXTURE_DIR.glob("rl*_good_*.py")
+        } | {
+            path.name.split("_")[0].upper()
+            for path in (FIXTURE_DIR / "flow").glob("rl*_good_*")
         }
         for rule in all_rules():
             assert rule.code in covered, f"no passing fixture for {rule.code}"
